@@ -1,0 +1,38 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it (visible with ``pytest -s``) and saves the rendered text under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the exact output.
+
+Benchmarks run each experiment exactly once (``benchmark.pedantic`` with
+one round): the interesting measurement is the simulated I/O inside the
+experiment, not Python wall-clock jitter.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Print a result table and persist it under benchmarks/results/."""
+
+    def _record(table, name: str):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.render()
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        return table
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,111 @@
+"""Ablation: dynamic update strategies on a bulk-loaded PR-tree.
+
+The paper: "The PR-tree can be updated using any known update heuristic
+for R-trees, but then its performance cannot be guaranteed theoretically
+anymore and its practical performance might suffer as well.  ...  In the
+future we wish to experiment to see what happens to the performance when
+we apply heuristic update algorithms and when we use the theoretically
+superior logarithmic method" — i.e. exactly this experiment, which the
+paper leaves as future work.
+
+Setup: bulk-load a PR-tree, churn half the data (delete + reinsert) with
+each update strategy, then measure window queries; the logarithmic
+method builds from scratch by insertion.  Reported against the freshly
+bulk-loaded tree as the reference.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.experiments.report import Table
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.logmethod import LogMethodPRTree
+from repro.prtree.prtree import build_prtree
+from repro.rtree.query import QueryEngine
+from repro.rtree.rstar import rstar_insert
+from repro.rtree.split import linear_split, quadratic_split
+from repro.rtree.tree import RTree
+from repro.rtree.update import delete, insert
+from repro.workloads.queries import square_queries
+
+from tests.conftest import random_rects
+
+
+def _churn(tree, items, inserter):
+    for rect, value in items:
+        delete(tree, rect, value)
+    for rect, value in items:
+        inserter(tree, rect, value)
+
+
+def _measure(tree_or_log, windows) -> float:
+    if isinstance(tree_or_log, LogMethodPRTree):
+        total = 0
+        for window in windows:
+            _, stats = tree_or_log.query_with_stats(window)
+            total += stats.leaf_reads
+        return total / len(windows)
+    engine = QueryEngine(tree_or_log)
+    for window in windows:
+        engine.query(window)
+    return engine.totals.leaf_reads / engine.totals.queries
+
+
+def _experiment(n: int = 6000, fanout: int = 16, queries: int = 40) -> Table:
+    data = random_rects(n, seed=81, max_side=0.02)
+    windows = list(square_queries(Rect((0, 0), (1, 1)), 1.0, count=queries, seed=82))
+    rng = random.Random(83)
+    churn_set = data[: n // 2]
+
+    table = Table(
+        title="Ablation: query cost after 50% churn, by update strategy",
+        headers=["strategy", "avg_leaf_ios", "vs_fresh_bulk"],
+    )
+
+    fresh = build_prtree(BlockStore(), data, fanout)
+    baseline = _measure(fresh, windows)
+    table.add_row("fresh PR bulk-load (reference)", baseline, 1.0)
+
+    strategies = [
+        ("Guttman quadratic", lambda t, r, v: insert(t, r, v, splitter=quadratic_split)),
+        ("Guttman linear", lambda t, r, v: insert(t, r, v, splitter=linear_split)),
+        ("R* (reinsert + R* split)", rstar_insert),
+    ]
+    for name, inserter in strategies:
+        tree = build_prtree(BlockStore(), data, fanout)
+        shuffled = churn_set[:]
+        rng.shuffle(shuffled)
+        _churn(tree, shuffled, inserter)
+        cost = _measure(tree, windows)
+        table.add_row(name, cost, cost / baseline)
+
+    logtree = LogMethodPRTree(BlockStore(), fanout=fanout)
+    for rect, value in data:
+        logtree.insert(rect, value)
+    cost = _measure(logtree, windows)
+    table.add_row("logarithmic method (all inserts)", cost, cost / baseline)
+
+    table.add_note(f"n={n}, B={fanout}, {queries} 1% windows; churn = delete+reinsert half")
+    return table
+
+
+def test_ablation_update_strategies(benchmark, record_table):
+    table = run_once(benchmark, _experiment)
+    record_table(table, "ablation_updates")
+
+    rows = {row[0]: row for row in table.rows}
+    baseline = rows["fresh PR bulk-load (reference)"][1]
+
+    # Churned trees lose some quality but stay within a small factor.
+    for name in ("Guttman quadratic", "Guttman linear", "R* (reinsert + R* split)"):
+        assert rows[name][1] < 4.0 * baseline, rows[name]
+
+    # R* churn produces a tree at least as good as Guttman-linear churn.
+    assert (
+        rows["R* (reinsert + R* split)"][1] <= rows["Guttman linear"][1] * 1.05
+    )
+
+    # The logarithmic method stays within a components-factor of fresh.
+    assert rows["logarithmic method (all inserts)"][1] < 4.0 * baseline

@@ -1,0 +1,38 @@
+"""Figure 9: bulk-loading performance on the TIGER datasets.
+
+Paper reading (Section 3.3): on Western data H/H4 use 1.2 M I/Os, PR
+3.1 M (~2.5x more), TGS 14.7 M (~4.7x PR); on Eastern 1.7 / 4.4 / 21.1 M.
+In wall-clock time the gaps compress (H/H4 451 s, PR 1495 s, TGS 4421 s)
+because TGS is less CPU-bound than the others.
+
+Expected shape here: the strict I/O ordering H ≈ H4 < PR < TGS.  Exact
+ratios differ from the paper (our PR builder places one kd level per
+distribution pass — see gridbuild.py's docstring — and our M/B is far
+smaller), which EXPERIMENTS.md discusses.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure9
+from repro.external.memory import MemoryModel
+
+
+def test_fig09_bulkload_tiger(benchmark, record_table):
+    table = run_once(
+        benchmark,
+        figure9,
+        n_eastern=8000,
+        n_western=5800,
+        fanout=16,
+        memory=MemoryModel(memory_records=1024, block_records=16),
+    )
+    record_table(table, "fig09_bulkload_tiger")
+
+    for dataset in ("western", "eastern"):
+        costs = {
+            row[1]: row[2] for row in table.rows if row[0] == dataset
+        }
+        assert costs["H"] < costs["PR"] < costs["TGS"], costs
+        assert costs["H4"] < costs["PR"], costs
+        # H and H4 differ only in key computation: same sort cost.
+        assert abs(costs["H"] - costs["H4"]) / costs["H"] < 0.2

@@ -1,0 +1,42 @@
+"""Figure 11: TGS bulk-loading cost depends on the data distribution.
+
+Paper reading: TGS build time on 10 M-rectangle synthetic datasets ranges
+from 3 726 s to 14 034 s across SIZE/ASPECT parameters — up to ~3.8x —
+while H/H4 (381 s) and PR (1289 s) are essentially flat because their
+construction "is based only on the relative order of coordinates".
+
+Assertions: the PR builder's I/O spread across the 12 distributions is
+small; TGS's spread is strictly larger than PR's.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure11
+from repro.external.memory import MemoryModel
+
+
+def test_fig11_tgs_distribution_sensitivity(benchmark, record_table):
+    table = run_once(
+        benchmark,
+        figure11,
+        n=4000,
+        fanout=16,
+        memory=MemoryModel(memory_records=1024, block_records=16),
+    )
+    record_table(table, "fig11_tgs_distribution")
+
+    tgs_io = [row[2] for row in table.rows if row[1] == "TGS"]
+    pr_io = [row[2] for row in table.rows if row[1] == "PR"]
+
+    tgs_spread = max(tgs_io) / min(tgs_io)
+    pr_spread = max(pr_io) / min(pr_io)
+
+    # PR is distribution-insensitive (the paper notes only slight
+    # variation from priority-box removal effects).
+    assert pr_spread < 1.3, f"PR spread {pr_spread}"
+    # TGS varies more than PR across distributions.
+    assert tgs_spread > pr_spread, (tgs_spread, pr_spread)
+    # And TGS is the more expensive loader everywhere.
+    for dataset in {row[0] for row in table.rows}:
+        costs = {row[1]: row[2] for row in table.rows if row[0] == dataset}
+        assert costs["TGS"] > costs["PR"], (dataset, costs)

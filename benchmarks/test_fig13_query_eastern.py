@@ -1,0 +1,26 @@
+"""Figure 13: query cost versus window area on Eastern TIGER data.
+
+Same setup and paper reading as Figure 12 (all variants within ~10% of
+each other, close to T/B), on the denser Eastern dataset.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure13
+
+
+def test_fig13_query_eastern(benchmark, record_table):
+    table = run_once(benchmark, figure13, n=12_000, fanout=16, queries=60)
+    record_table(table, "fig13_query_eastern")
+
+    for area in {row[0] for row in table.rows}:
+        ratios = {row[1]: row[2] for row in table.rows if row[0] == area}
+        best = min(ratios.values())
+        assert best < 4.0
+        for variant, ratio in ratios.items():
+            assert ratio <= 2.0 * best, (area, variant, ratios)
+
+    # Output grows linearly with window area (sanity of the workload).
+    t_small = [row[4] for row in table.rows if row[0] == 0.25][0]
+    t_large = [row[4] for row in table.rows if row[0] == 2.0][0]
+    assert t_large > 4 * t_small

@@ -1,0 +1,32 @@
+"""Figure 14: query cost versus dataset size (Eastern subsets, 1% windows).
+
+Paper reading: the four variants keep their relative ordering and stay
+close to T/B as the dataset grows from 2.08 M to 16.72 M rectangles.
+
+Assertions: at every size the variants stay within 2x of the best, and
+the cost ratio of each variant does not degrade (grow by more than 50%)
+from the smallest to the largest subset — i.e. the flat shape.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure14
+
+
+def test_fig14_query_scaling(benchmark, record_table):
+    table = run_once(benchmark, figure14, max_n=12_000, fanout=16, queries=60)
+    record_table(table, "fig14_query_scaling")
+
+    sizes = sorted({row[0] for row in table.rows})
+    for n in sizes:
+        ratios = {row[1]: row[2] for row in table.rows if row[0] == n}
+        best = min(ratios.values())
+        for variant, ratio in ratios.items():
+            assert ratio <= 2.0 * best, (n, variant, ratios)
+
+    for variant in ("H", "H4", "PR", "TGS"):
+        series = sorted(
+            (row[0], row[2]) for row in table.rows if row[1] == variant
+        )
+        first, last = series[0][1], series[-1][1]
+        assert last <= 1.5 * first, f"{variant} degrades with n: {series}"

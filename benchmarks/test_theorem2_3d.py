@@ -1,0 +1,80 @@
+"""Theorem 2: the d-dimensional query bound, exercised at d = 3.
+
+Paper (Section 2.3): "A PR-tree on a set of N hyperrectangles in d
+dimensions can be bulk-loaded ... such that a window query can be
+answered in O((N/B)^(1-1/d) + T/B) I/Os."  The evaluation section never
+runs d > 2; this bench demonstrates the d = 3 bound on thin-slab queries
+(near-zero output, the regime where the first term dominates) and checks
+the exponent: 16x the data must scale the empty-query cost like
+16^(2/3) ≈ 6.3, far below the 16x a linear structure would pay.
+
+Note this is a *bound* demonstration, not a separation: on uniform
+points every decent loader produces near-cubical leaves, so H matches
+the same exponent here; the separation lives on adversarial data
+(Theorem 3, shown in 2D by ``test_theorem3_worstcase``).
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.experiments.report import Table
+from repro.geometry.rect import Rect, point_rect
+from repro.iomodel.blockstore import BlockStore
+from repro.bulk.hilbert import build_hilbert
+from repro.prtree.prtree import build_prtree, prtree_query_bound
+from repro.rtree.query import QueryEngine
+
+
+def _slab_queries(rounds: int):
+    """Thin axis-aligned slabs cutting the unit cube."""
+    for k in range(rounds):
+        x = (k + 0.5) / rounds
+        yield Rect((x, 0.0, 0.0), (x + 1e-9, 1.0, 1.0))
+
+
+def _experiment(fanout: int = 8, rounds: int = 10) -> Table:
+    table = Table(
+        title="Theorem 2 (d=3): thin-slab queries on uniform points",
+        headers=["n", "variant", "avg_leaf_ios", "leaves", "bound"],
+    )
+    for n in (2048, 8192, 32768):
+        rng = random.Random(101)
+        data = [
+            (point_rect((rng.random(), rng.random(), rng.random())), i)
+            for i in range(n)
+        ]
+        for name, builder in [("H", build_hilbert), ("PR", build_prtree)]:
+            tree = builder(BlockStore(), data, fanout)
+            engine = QueryEngine(tree)
+            total = 0
+            for window in _slab_queries(rounds):
+                _, stats = engine.query(window)
+                total += stats.leaf_reads
+            bound = prtree_query_bound(n, fanout, 0, dim=3, constant=10.0)
+            table.add_row(n, name, total / rounds, tree.leaf_count(), bound)
+    table.add_note(f"B={fanout}, {rounds} slabs per point; bound = 10*(N/B)^(2/3)")
+    return table
+
+
+def test_theorem2_3d(benchmark, record_table):
+    table = run_once(benchmark, _experiment)
+    record_table(table, "theorem2_3d")
+
+    pr = {row[0]: row for row in table.rows if row[1] == "PR"}
+    # Within the analytic bound at every size.
+    for n, row in pr.items():
+        assert row[2] <= row[4], row
+
+    # Exponent check: 16x data -> cost grows ~16^(2/3) ≈ 6.3, not 16.
+    growth = pr[32768][2] / max(pr[2048][2], 1)
+    assert growth < 10.0, pr
+
+    # Context row, not a separation: on *uniform* points the Hilbert
+    # tree's leaves are near-cubical too, so H also cuts ~ (N/B)^(2/3)
+    # of them per slab — the worst-case gap needs adversarial data
+    # (Theorem 3).  Just check H stayed sublinear as well, i.e. our slab
+    # workload isn't accidentally output-dominated.
+    h = {row[0]: row for row in table.rows if row[1] == "H"}
+    h_growth = h[32768][2] / max(h[2048][2], 1)
+    assert h_growth < 16.0, h

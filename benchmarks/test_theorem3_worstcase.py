@@ -1,0 +1,32 @@
+"""Theorem 3: the lower-bound dataset for heuristic R-trees.
+
+Paper reading (Section 2.4): on the bit-reversal shifted grid, a window
+query that reports nothing forces the packed Hilbert, 4D-Hilbert and TGS
+R-trees to visit all Θ(N/B) leaves, while the PR-tree answers in
+O(√(N/B)) I/Os (Theorem 1 with T = 0).
+
+Assertions: the three heuristics visit ≥90% of their leaves; the PR-tree
+stays under its analytic bound and under 25% of its leaves; the H-to-PR
+gap exceeds 5x.
+"""
+
+from conftest import run_once
+
+from repro.experiments.tables import theorem3_demo
+
+
+def test_theorem3_worstcase(benchmark, record_table):
+    table = run_once(benchmark, theorem3_demo, n=16_384, fanout=16, queries=20)
+    record_table(table, "theorem3_worstcase")
+
+    rows = {row[0]: row for row in table.rows}
+
+    for variant in ("H", "H4", "TGS"):
+        visited_pct = rows[variant][3]
+        assert visited_pct > 90.0, (variant, visited_pct)
+
+    pr_ios, _, pr_visited_pct, pr_bound = rows["PR"][1:]
+    assert pr_ios <= pr_bound
+    assert pr_visited_pct < 25.0
+
+    assert rows["H"][1] / max(pr_ios, 1) > 5.0

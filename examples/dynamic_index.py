@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Dynamic indexing: Guttman updates versus the logarithmic-method PR-tree.
+
+The paper's Section 1.2 / concluding remarks sketch two ways to make a
+PR-tree dynamic:
+
+* apply the *standard R-tree updating algorithms* — cheap per update, but
+  the worst-case query guarantee is lost as updates accumulate;
+* use the *external logarithmic method* — a forest of static PR-trees
+  that are periodically rebuilt, keeping the optimal query bound at the
+  price of amortized rebuild work.
+
+This example runs the same mixed insert/delete/query workload through
+both and reports query costs on the adversarial dataset, where the
+difference matters.
+
+Run with:  python examples/dynamic_index.py
+"""
+
+import random
+
+from repro import (
+    BlockStore,
+    LogMethodPRTree,
+    QueryEngine,
+    Rect,
+    RTree,
+    build_prtree,
+    delete,
+    insert,
+)
+from repro.datasets.worstcase import worstcase_dataset, worstcase_query
+
+
+def main() -> None:
+    fanout = 16
+    base = worstcase_dataset(8_192, fanout)
+    n = len(base)
+    rng = random.Random(5)
+
+    # --- Strategy A: bulk-load a PR-tree, then mutate it with Guttman
+    # updates (half the data deleted and reinserted, shuffled).
+    store_a = BlockStore()
+    guttman = build_prtree(store_a, base, fanout)
+    churn = base[: n // 2]
+    rng.shuffle(churn)
+    for rect, value in churn:
+        delete(guttman, rect, value)
+    for rect, value in churn:
+        insert(guttman, rect, value)
+
+    # --- Strategy B: the logarithmic method, fed one record at a time.
+    store_b = BlockStore()
+    logtree = LogMethodPRTree(store_b, fanout=fanout)
+    for rect, value in base:
+        logtree.insert(rect, value)
+
+    # --- Reference: a freshly bulk-loaded static PR-tree.
+    static = build_prtree(BlockStore(), base, fanout)
+
+    # --- Compare empty-output adversarial queries.
+    rounds = 10
+    engines = {
+        "static PR-tree (reference)": QueryEngine(static),
+        "PR-tree + Guttman churn": QueryEngine(guttman),
+    }
+    totals = {name: 0 for name in engines}
+    log_total = 0
+    for seed in range(rounds):
+        window = worstcase_query(n, fanout, seed=seed)
+        for name, engine in engines.items():
+            _, stats = engine.query(window)
+            totals[name] += stats.leaf_reads
+        _, log_stats = logtree.query_with_stats(window)
+        log_total += log_stats.leaf_reads
+
+    print(f"adversarial empty-output queries over {n} points (B={fanout}):")
+    for name, total in totals.items():
+        print(f"  {name:27s}: {total / rounds:7.1f} leaf I/Os/query")
+    print(f"  {'logarithmic-method tree':27s}: {log_total / rounds:7.1f} leaf I/Os/query")
+    print(f"  (log-method components: {list(logtree.components())},")
+    print(f"   {logtree.rebuilds} component rebuilds over {n} inserts)")
+    print()
+    print(
+        "Both dynamic strategies stay in the static PR-tree's ballpark —\n"
+        "far from the Θ(N/B) blowup of the heuristic trees on this data.\n"
+        "The difference is the nature of the guarantee: Guttman updates\n"
+        "keep no worst-case bound (this run's churn happened to be kind),\n"
+        "while the logarithmic method provably preserves the query bound,\n"
+        "paying a small per-component factor and amortized rebuild work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: build a PR-tree, run window queries, inspect I/O costs.
+
+Run with:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    BlockStore,
+    QueryEngine,
+    Rect,
+    build_prtree,
+    utilization,
+    validate_rtree,
+)
+
+
+def main() -> None:
+    rng = random.Random(42)
+
+    # 1. Some spatial data: 10,000 small rectangles in the unit square,
+    #    each tagged with a caller value (here, a string id).
+    data = []
+    for i in range(10_000):
+        x, y = rng.random(), rng.random()
+        w, h = rng.random() * 0.01, rng.random() * 0.01
+        data.append((Rect((x, y), (x + w, y + h)), f"object-{i}"))
+
+    # 2. Bulk-load a PR-tree on a simulated disk.  fanout is the paper's
+    #    B — how many 36-byte entries fit in one disk block (113 for the
+    #    paper's 4 KB blocks; anything >= 2 works).
+    store = BlockStore()
+    tree = build_prtree(store, data, fanout=32)
+    validate_rtree(tree, expect_size=len(data))
+
+    info = utilization(tree)
+    print(f"built PR-tree: height={tree.height}, leaves={info.leaf_nodes}, "
+          f"leaf fill={info.leaf_fill:.1%}")
+
+    # 3. Window queries through a reusable engine.  The engine caches
+    #    internal nodes (as the paper's experiments do), so the reported
+    #    cost of a query is the number of leaf blocks read.
+    engine = QueryEngine(tree)
+    window = Rect((0.40, 0.40), (0.45, 0.45))
+    matches, stats = engine.query(window)
+
+    print(f"\nquery {window}:")
+    print(f"  matches: {len(matches)} rectangles")
+    print(f"  cost: {stats.ios} leaf I/Os "
+          f"(optimal would be ceil(T/B) = {-(-len(matches) // tree.fanout)})")
+    print(f"  first three: {[value for _, value in matches[:3]]}")
+
+    # 4. The same store's counters have tracked every simulated block
+    #    access since construction.
+    print(f"\nsimulated disk: {store.counters!r}")
+
+
+if __name__ == "__main__":
+    main()

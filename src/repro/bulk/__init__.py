@@ -1,0 +1,47 @@
+"""Bulk-loading algorithms for R-trees (the paper's baselines).
+
+The paper compares the PR-tree against three bulk loaders "known to
+generate query-efficient R-trees" (Section 3):
+
+* **H** — the packed Hilbert R-tree of Kamel & Faloutsos: sort by Hilbert
+  value of the rectangle centers, pack in that order
+  (:func:`repro.bulk.hilbert.build_hilbert`).
+* **H4** — the four-dimensional Hilbert R-tree: sort by the Hilbert value
+  of the corner-mapped points ``(xmin, ymin, xmax, ymax)``
+  (:func:`repro.bulk.hilbert.build_hilbert4`).
+* **TGS** — Top-down Greedy Split of García, López & Leutenegger
+  (:func:`repro.bulk.tgs.build_tgs`).
+
+Plus **STR** (Leutenegger et al. [18]) as an extra baseline for ablations
+(:func:`repro.bulk.str_pack.build_str`).
+
+Each loader has two faces: an in-memory ``build_*`` used by the query
+experiments, and an external ``build_*_external`` that moves records
+through :mod:`repro.external` streams so bulk-loading I/O can be counted
+(Figures 9–11).  Both faces produce structurally identical tree families.
+
+The PR-tree's own loaders live in :mod:`repro.prtree`.
+"""
+
+from repro.bulk.base import pack_ordered, pack_leaf_level, BuildStats
+from repro.bulk.hilbert import (
+    build_hilbert,
+    build_hilbert4,
+    build_hilbert_external,
+    build_hilbert4_external,
+)
+from repro.bulk.tgs import build_tgs, build_tgs_external
+from repro.bulk.str_pack import build_str
+
+__all__ = [
+    "pack_ordered",
+    "pack_leaf_level",
+    "BuildStats",
+    "build_hilbert",
+    "build_hilbert4",
+    "build_hilbert_external",
+    "build_hilbert4_external",
+    "build_tgs",
+    "build_tgs_external",
+    "build_str",
+]

@@ -1,0 +1,101 @@
+"""Shared machinery for bottom-up R-tree packing.
+
+The "sort, place in leaves in that order, build the rest of the index
+bottom-up level-by-level" family (paper Section 1.1, [10, 15, 18]) shares
+one packing step: given data in final leaf order, chunk it into full
+leaves, then repeatedly chunk node bounding boxes into full internal
+nodes until a single root remains.  Both Hilbert loaders and STR reduce to
+:func:`pack_ordered` after their respective sorts; the PR-tree builder
+reuses :func:`pack_leaf_level`'s node-materialization conventions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.geometry.rect import Rect, mbr_of
+from repro.iomodel.blockstore import BlockStore
+from repro.iomodel.counters import IOSnapshot
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+
+
+@dataclass
+class BuildStats:
+    """What one bulk load cost.
+
+    ``io`` is meaningful only for the external loaders (the in-memory
+    paths count just their node writes); ``cpu_seconds`` is measured
+    wall-clock of the build call, reported alongside modelled I/O time in
+    the Figure 9/11 reproductions.
+    """
+
+    io: IOSnapshot
+    cpu_seconds: float
+    levels: int
+
+
+def pack_leaf_level(
+    store: BlockStore, entries: Sequence[tuple[Rect, int]], fanout: int, is_leaf: bool
+) -> list[tuple[Rect, int]]:
+    """Chunk ordered entries into full nodes; return (mbr, block_id) pairs.
+
+    Every node except possibly the last receives exactly ``fanout``
+    entries — the near-100 % utilization all the paper's loaders target.
+    """
+    level: list[tuple[Rect, int]] = []
+    for start in range(0, len(entries), fanout):
+        chunk = list(entries[start : start + fanout])
+        block_id = store.allocate(Node(is_leaf, chunk))
+        level.append((mbr_of(r for r, _ in chunk), block_id))
+    return level
+
+
+def pack_ordered(
+    store: BlockStore,
+    data: Sequence[tuple[Rect, Any]],
+    fanout: int,
+    dim: int | None = None,
+) -> RTree:
+    """Build an R-tree whose leaves hold ``data`` in the given order.
+
+    ``data`` pairs rectangles with arbitrary caller values; object ids are
+    assigned in order.  An empty dataset yields a tree with one empty leaf.
+    """
+    if dim is None:
+        dim = data[0][0].dim if data else 2
+    tree = RTree(
+        store,
+        root_id=-1,
+        dim=dim,
+        fanout=fanout,
+        height=1,
+        size=len(data),
+    )
+    entries: list[tuple[Rect, int]] = []
+    for rect, value in data:
+        if rect.dim != dim:
+            raise ValueError(f"rect of dim {rect.dim} in a dim-{dim} load")
+        entries.append((rect, tree.register_object(value)))
+
+    if not entries:
+        tree.root_id = store.allocate(Node(is_leaf=True))
+        return tree
+
+    level = pack_leaf_level(store, entries, fanout, is_leaf=True)
+    height = 1
+    while len(level) > 1:
+        level = pack_leaf_level(store, level, fanout, is_leaf=False)
+        height += 1
+    tree.root_id = level[0][1]
+    tree.height = height
+    return tree
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` returning ``(result, seconds)`` of wall-clock time."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,56 @@
+"""STR (Sort-Tile-Recursive) bulk loading.
+
+Leutenegger, López & Edgington's packing algorithm — reference [18] of the
+paper, cited among the sort-based bulk loaders.  It is not one of the
+paper's measured baselines, but it is the loader mainstream libraries ship
+(the repro calibration notes that real-world systems use R*/STR), so it is
+included for the ablation benchmarks.
+
+In two dimensions: sort rectangles by x-center, slice into
+``ceil(sqrt(N/B))`` vertical slabs of ``B·ceil(sqrt(N/B))`` rectangles,
+sort each slab by y-center, pack runs of ``B``.  In d dimensions the same
+tiling recurses one axis at a time with slab sizes ``n^((k-1)/k)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.bulk.base import pack_ordered
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.rtree.tree import RTree
+
+
+def _tile(
+    data: list[tuple[Rect, Any]], fanout: int, axis: int, dim: int
+) -> list[tuple[Rect, Any]]:
+    """Order ``data`` by recursive center-coordinate tiling from ``axis``."""
+    if not data:
+        return data
+    data = sorted(data, key=lambda item: item[0].center()[axis])
+    if axis == dim - 1:
+        return data
+    leaves = math.ceil(len(data) / fanout)
+    remaining_axes = dim - axis
+    # Classic STR sizing: with P leaves and k axes left, take slabs of
+    # ceil(P^((k-1)/k)) * B records so each slab holds a full column of
+    # the remaining tiling.
+    per_slab_leaves = math.ceil(leaves ** ((remaining_axes - 1) / remaining_axes))
+    slab_records = max(fanout, per_slab_leaves * fanout)
+    ordered: list[tuple[Rect, Any]] = []
+    for start in range(0, len(data), slab_records):
+        ordered.extend(
+            _tile(data[start : start + slab_records], fanout, axis + 1, dim)
+        )
+    return ordered
+
+
+def build_str(
+    store: BlockStore, data: Sequence[tuple[Rect, Any]], fanout: int
+) -> RTree:
+    """STR bulk load: tile by center coordinates, pack bottom-up."""
+    dim = data[0][0].dim if data else 2
+    ordered = _tile(list(data), fanout, axis=0, dim=dim)
+    return pack_ordered(store, ordered, fanout, dim=dim)

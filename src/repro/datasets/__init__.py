@@ -1,0 +1,38 @@
+"""Dataset generators for the paper's experiments (Section 3.2).
+
+* :mod:`repro.datasets.synthetic` — the four synthetic families:
+  ``size(max_side)``, ``aspect(a)``, ``skewed(c)``, ``cluster``, plus
+  uniform points/rectangles.
+* :mod:`repro.datasets.tiger` — a simulator of the TIGER/Line road data
+  (the real CDs are proprietary; see DESIGN.md §5 for the substitution
+  argument).
+* :mod:`repro.datasets.worstcase` — the Theorem 3 lower-bound dataset
+  (bit-reversal shifted grid columns) that forces heuristic R-trees to
+  visit every leaf.
+
+All generators are deterministic given a seed.
+"""
+
+from repro.datasets.synthetic import (
+    size_dataset,
+    aspect_dataset,
+    skewed_dataset,
+    cluster_dataset,
+    uniform_points,
+    uniform_rects,
+)
+from repro.datasets.tiger import tiger_dataset, TigerRegion
+from repro.datasets.worstcase import worstcase_dataset, bit_reversal
+
+__all__ = [
+    "size_dataset",
+    "aspect_dataset",
+    "skewed_dataset",
+    "cluster_dataset",
+    "uniform_points",
+    "uniform_rects",
+    "tiger_dataset",
+    "TigerRegion",
+    "worstcase_dataset",
+    "bit_reversal",
+]

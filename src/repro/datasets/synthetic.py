@@ -1,0 +1,144 @@
+"""Synthetic datasets (paper Section 3.2).
+
+Each family stresses a different weakness of heuristic R-trees:
+
+* ``size(max_side)`` — "rectangle centers were uniformly distributed and
+  the lengths of their sides uniformly and independently distributed
+  between 0 and max_side", rejecting rectangles leaving the unit square.
+  Stresses handling of *large* rectangles.
+* ``aspect(a)`` — fixed area 1e-6, aspect ratio fixed to ``a``, "longest
+  sides chosen to be vertical or horizontal with equal probability",
+  fully inside the unit square.  Stresses *skinny* rectangles.
+* ``skewed(c)`` — uniform points with each ``(x, y)`` replaced by
+  ``(x, y**c)``.  Stresses non-uniform coordinate distributions.
+* ``cluster`` — the engineered near-worst case: "10 000 clusters with
+  centers equally spaced on a horizontal line", 1000 uniform points each
+  in a 0.00001 × 0.00001 square (scaled to the requested n).
+
+Values attached to the rectangles are their generation indices.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any
+
+from repro.geometry.rect import Rect, point_rect
+
+Dataset = list[tuple[Rect, Any]]
+
+
+def uniform_points(n: int, seed: int = 0) -> Dataset:
+    """n uniform points in the unit square (degenerate rectangles)."""
+    rng = random.Random(seed)
+    return [
+        (point_rect((rng.random(), rng.random())), i) for i in range(n)
+    ]
+
+
+def uniform_rects(n: int, max_side: float = 0.01, seed: int = 0) -> Dataset:
+    """Uniform small rectangles, unclipped convenience generator."""
+    rng = random.Random(seed)
+    data: Dataset = []
+    for i in range(n):
+        x, y = rng.random(), rng.random()
+        w = rng.random() * max_side
+        h = rng.random() * max_side
+        data.append((Rect((x, y), (min(1.0, x + w), min(1.0, y + h))), i))
+    return data
+
+
+def size_dataset(n: int, max_side: float, seed: int = 0) -> Dataset:
+    """The paper's SIZE(max_side) family.
+
+    Centers uniform in the unit square; side lengths uniform in
+    [0, max_side], independently per axis; rectangles not completely
+    inside the unit square are discarded and regenerated ("we discarded
+    rectangles that were not completely inside the unit square (but made
+    sure each dataset had 10 million rectangles)").
+    """
+    if not 0 < max_side <= 1:
+        raise ValueError("max_side must be in (0, 1]")
+    rng = random.Random(seed)
+    data: Dataset = []
+    while len(data) < n:
+        cx, cy = rng.random(), rng.random()
+        w = rng.random() * max_side
+        h = rng.random() * max_side
+        lo = (cx - w / 2, cy - h / 2)
+        hi = (cx + w / 2, cy + h / 2)
+        if lo[0] < 0 or lo[1] < 0 or hi[0] > 1 or hi[1] > 1:
+            continue
+        data.append((Rect(lo, hi), len(data)))
+    return data
+
+
+def aspect_dataset(
+    n: int, aspect: float, area: float = 1e-6, seed: int = 0
+) -> Dataset:
+    """The paper's ASPECT(a) family.
+
+    Fixed area, aspect ratio exactly ``a``, long side axis chosen
+    uniformly, centers uniform, rectangles fully inside the unit square.
+    """
+    if aspect < 1:
+        raise ValueError("aspect must be >= 1")
+    long_side = math.sqrt(area * aspect)
+    short_side = math.sqrt(area / aspect)
+    if long_side > 1:
+        raise ValueError("aspect too large for the requested area")
+    rng = random.Random(seed)
+    data: Dataset = []
+    while len(data) < n:
+        horizontal = rng.random() < 0.5
+        w, h = (long_side, short_side) if horizontal else (short_side, long_side)
+        cx, cy = rng.random(), rng.random()
+        lo = (cx - w / 2, cy - h / 2)
+        hi = (cx + w / 2, cy + h / 2)
+        if lo[0] < 0 or lo[1] < 0 or hi[0] > 1 or hi[1] > 1:
+            continue
+        data.append((Rect(lo, hi), len(data)))
+    return data
+
+
+def skewed_dataset(n: int, c: int, seed: int = 0) -> Dataset:
+    """The paper's SKEWED(c) family: uniform points squeezed to (x, y^c)."""
+    if c < 1:
+        raise ValueError("c must be >= 1")
+    rng = random.Random(seed)
+    return [
+        (point_rect((rng.random(), rng.random() ** c)), i) for i in range(n)
+    ]
+
+
+def cluster_dataset(
+    n: int,
+    clusters: int | None = None,
+    cluster_extent: float = 1e-5,
+    seed: int = 0,
+) -> Dataset:
+    """The paper's CLUSTER dataset, scaled to ``n`` points.
+
+    ``clusters`` centers equally spaced on the horizontal line y = 0.5,
+    each receiving ``n // clusters`` points uniform in a
+    ``cluster_extent``-sized square.  The paper uses 10 000 clusters of
+    1000 points; the default keeps the paper's 10:1 cluster:population
+    ratio (``clusters = n // 1000`` clamped to at least 10).
+    """
+    if clusters is None:
+        clusters = max(10, n // 1000)
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    rng = random.Random(seed)
+    per_cluster = n // clusters
+    data: Dataset = []
+    for k in range(clusters):
+        cx = (k + 0.5) / clusters
+        cy = 0.5
+        count = per_cluster if k < clusters - 1 else n - per_cluster * (clusters - 1)
+        for _ in range(count):
+            x = cx + (rng.random() - 0.5) * cluster_extent
+            y = cy + (rng.random() - 0.5) * cluster_extent
+            data.append((point_rect((x, y)), len(data)))
+    return data

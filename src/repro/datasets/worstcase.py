@@ -1,0 +1,97 @@
+"""The Theorem 3 lower-bound dataset.
+
+Section 2.4 constructs a point set on which the packed Hilbert R-tree,
+the four-dimensional Hilbert R-tree and the TGS R-tree are all forced to
+visit Θ(N/B) leaves to answer a query reporting nothing:
+
+    "We construct S as a grid of N/B columns and B rows, where each
+    column is shifted up a little, depending on its horizontal position
+    (each row is in fact a Halton–Hammersley point set).  More precisely,
+    S has a point p_ij = (x_ij, y_ij) for all i in {0,...,N/B−1} and j in
+    {0,...,B−1}, such that x_ij = i + 1/2 and y_ij = j/B + h(i)/N.  Here
+    h(i) is the number obtained by reversing the k-bit binary
+    representation of i."
+
+The Hilbert curves visit each column completely before the next, so both
+Hilbert loaders put each column in its own leaf; TGS always prefers
+vertical cuts on this input (the paper's gap-area argument) and does the
+same.  A thin horizontal window threading *between* the shifted rows then
+intersects every column's bounding box while containing no point.
+
+:func:`worstcase_query` produces exactly such a query; the PR-tree
+answers it in O(√(N/B)) I/Os while the heuristics read every leaf
+(Table-1-style contrast, reproduced in ``benchmarks/test_theorem3``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.geometry.rect import Rect, point_rect
+
+Dataset = list[tuple[Rect, Any]]
+
+
+def bit_reversal(i: int, bits: int) -> int:
+    """h(i): reverse the ``bits``-bit binary representation of ``i``."""
+    if i < 0 or i >= (1 << bits):
+        raise ValueError(f"{i} does not fit in {bits} bits")
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+def worstcase_dataset(n: int, capacity: int) -> Dataset:
+    """The Theorem 3 point set for N points and leaf capacity B.
+
+    Requirements from the proof: ``B >= 4`` and ``N = 2^k · B`` for some
+    integer k.  ``n`` is rounded up to the nearest such value, so check
+    ``len(...)`` after calling.
+    """
+    if capacity < 4:
+        raise ValueError("the Theorem 3 construction needs B >= 4")
+    columns = 1
+    bits = 0
+    while columns * capacity < n:
+        columns *= 2
+        bits += 1
+    total = columns * capacity
+    data: Dataset = []
+    for i in range(columns):
+        shift = bit_reversal(i, bits) if bits else 0
+        for j in range(capacity):
+            x = i + 0.5
+            y = j / capacity + shift / total
+            data.append((point_rect((x, y)), len(data)))
+    return data
+
+
+def worstcase_query(
+    n: int, capacity: int, seed: int = 0
+) -> Rect:
+    """A full-width horizontal slit crossing every column but no point.
+
+    Points in column i sit at heights j/B + h(i)/N; consecutive used
+    heights are ≥ 1/N apart, so a horizontal band of thickness < 1/N
+    placed strictly between two of them touches nothing while spanning
+    all columns (whose bounding boxes cover the full height range).
+    """
+    columns = 1
+    while columns * capacity < n:
+        columns *= 2
+    total = columns * capacity
+    rng = random.Random(seed)
+    # Pick a random row gap strictly inside the populated band.
+    j = rng.randrange(1, capacity)
+    # All shifts lie in [0, columns/total); center the slit just below
+    # row j's unshifted height, inside the gap above the most-shifted
+    # point of row j-1.
+    y_low = (j - 1) / capacity + (columns - 1) / total
+    y_high = j / capacity
+    assert y_low < y_high, "slit construction is wrong"
+    y = (y_low + y_high) / 2
+    eps = (y_high - y_low) / 8
+    return Rect((0.0, y - eps), (float(columns), y + eps))

@@ -1,0 +1,51 @@
+"""Experiment harness reproducing the paper's evaluation (Section 3).
+
+* :mod:`repro.experiments.harness` — build-variant registry, query-
+  workload measurement, the paper's reporting metrics.
+* :mod:`repro.experiments.figures` — one function per paper figure
+  (Figures 9–15), each returning a :class:`repro.experiments.report.Table`.
+* :mod:`repro.experiments.tables` — Table 1 and the Theorem 3
+  demonstration.
+* :mod:`repro.experiments.report` — plain-text table rendering.
+
+Every experiment takes explicit scale parameters (N, fan-out, memory)
+with laptop-friendly defaults; DESIGN.md §3 records how the defaults map
+onto the paper's multi-million-rectangle runs.
+"""
+
+from repro.experiments.harness import (
+    QUERY_VARIANTS,
+    EXTERNAL_VARIANTS,
+    build_variant,
+    measure_workload,
+    WorkloadMetrics,
+)
+from repro.experiments.report import Table
+from repro.experiments.figures import (
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.experiments.tables import table1, theorem3_demo
+
+__all__ = [
+    "QUERY_VARIANTS",
+    "EXTERNAL_VARIANTS",
+    "build_variant",
+    "measure_workload",
+    "WorkloadMetrics",
+    "Table",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "table1",
+    "theorem3_demo",
+]

@@ -1,0 +1,127 @@
+"""Command-line interface for the experiment harness.
+
+Usage (installed or from a checkout)::
+
+    python -m repro list
+    python -m repro run figure12 --n 8000 --fanout 16
+    python -m repro run theorem3 --n 16384
+    python -m repro run all --out results/
+
+``run all`` executes every experiment with its defaults and writes each
+rendered table to the output directory (or stdout when none is given).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable
+
+from repro.experiments.figures import (
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.experiments.report import Table
+from repro.experiments.tables import table1, theorem3_demo
+from repro.external.memory import MemoryModel
+
+#: name -> (runner, accepted scale kwargs, description)
+EXPERIMENTS: dict[str, tuple[Callable[..., Table], tuple[str, ...], str]] = {
+    "figure9": (figure9, ("fanout",), "bulk-loading I/Os + time, TIGER-like data"),
+    "figure10": (figure10, ("max_n", "fanout"), "bulk-loading I/Os vs dataset size"),
+    "figure11": (figure11, ("n", "fanout"), "TGS bulk-load cost by distribution"),
+    "figure12": (figure12, ("n", "fanout", "queries"), "query cost vs area, Western"),
+    "figure13": (figure13, ("n", "fanout", "queries"), "query cost vs area, Eastern"),
+    "figure14": (figure14, ("max_n", "fanout", "queries"), "query cost vs dataset size"),
+    "figure15": (figure15, ("n", "fanout", "queries", "panel"), "extreme synthetic data"),
+    "table1": (table1, ("n", "fanout", "queries"), "CLUSTER line queries"),
+    "theorem3": (theorem3_demo, ("n", "fanout", "queries"), "worst-case lower bound"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the PR-tree paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("--n", type=int, help="dataset size")
+    run.add_argument("--max-n", dest="max_n", type=int, help="largest subset size")
+    run.add_argument("--fanout", type=int, help="node capacity B")
+    run.add_argument("--queries", type=int, help="queries per measurement point")
+    run.add_argument(
+        "--panel",
+        choices=["all", "size", "aspect", "skewed"],
+        help="figure15 panel selection",
+    )
+    run.add_argument("--memory", type=int, help="M in records (external loads)")
+    run.add_argument("--seed", type=int, default=0, help="generation seed")
+    run.add_argument(
+        "--out", type=pathlib.Path, help="directory to write rendered tables to"
+    )
+    run.add_argument(
+        "--markdown", action="store_true", help="emit markdown instead of text"
+    )
+    return parser
+
+
+def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
+    _, accepted, _ = EXPERIMENTS[name]
+    kwargs: dict = {"seed": args.seed}
+    for key in accepted:
+        value = getattr(args, key, None)
+        if value is not None:
+            kwargs[key] = value
+    if args.memory is not None and name in ("figure9", "figure10", "figure11"):
+        fanout = args.fanout or 16
+        kwargs["memory"] = MemoryModel(
+            memory_records=args.memory, block_records=fanout
+        )
+    return kwargs
+
+
+def _emit(table: Table, name: str, args: argparse.Namespace) -> None:
+    text = table.to_markdown() if args.markdown else table.render()
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        suffix = "md" if args.markdown else "txt"
+        path = args.out / f"{name}.{suffix}"
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+    else:
+        print(text)
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_, _, description) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner, _, _ = EXPERIMENTS[name]
+        table = runner(**_kwargs_for(name, args))
+        _emit(table, name, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,321 @@
+"""One function per figure of the paper's evaluation section.
+
+Every function returns a :class:`~repro.experiments.report.Table` whose
+rows mirror the series of the corresponding figure.  Scale defaults are
+laptop-sized (the paper runs 10–16.7 million rectangles on a 2003 server;
+see DESIGN.md §3 for the regime argument); pass larger ``n`` for closer
+absolute numbers.
+
+The paper's reference readings, for side-by-side comparison (all from
+Section 3.3):
+
+* Figure 9 — Western: H/H4 1.2 M I/Os, PR 3.1 M, TGS 14.7 M; Eastern:
+  1.7 M / 4.4 M / 21.1 M.  Times: 451 s / 1495 s / 4421 s (Western).
+* Figure 10 — H/H4/PR "scale relatively linearly", TGS slightly
+  superlinearly; at 16.7 M rects: 1.7 / 4.4 / 21.1 M I/Os.
+* Figure 11 — TGS build time varies 3726–14034 s across SIZE/ASPECT
+  parameters while H/H4 (381 s) and PR (1289 s) are distribution-blind.
+* Figures 12/13 — all variants within ~10 % of each other and close to
+  T/B; TGS ≤ PR ≤ H ≤ H4.
+* Figure 14 — same ordering, stable across dataset sizes.
+* Figure 15 — SIZE: PR ≈ H4 ≪ TGS < H as rectangles grow; ASPECT:
+  PR ≈ H4 ≪ TGS ≪ H; SKEWED: PR flat, others degrade (H to 340 %).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import aspect_dataset, size_dataset, skewed_dataset
+from repro.datasets.tiger import eastern_scaling_series, tiger_dataset
+from repro.experiments.harness import (
+    EXTERNAL_VARIANTS,
+    VARIANT_ORDER,
+    build_variant,
+    build_variant_external,
+    measure_workload,
+)
+from repro.experiments.report import Table
+from repro.external.memory import MemoryModel
+from repro.iomodel.counters import TimeModel
+from repro.workloads.queries import dataset_bounds, skewed_queries, square_queries
+
+#: Query-area sweep of Figures 12/13 (percent of the data bounding box).
+AREA_SWEEP = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0]
+
+#: Parameter sweeps of Figures 11/15.  The paper's SIZE sweep stops at
+#: max_side = 0.2; the reproduction adds one more point (0.4) because at
+#: laptop-scale N the H-vs-H4 crossover the paper observes lands slightly
+#: beyond 0.2 (the heuristics' degradation grows with N, PR/H4's fixed
+#: overhead shrinks — see EXPERIMENTS.md).
+SIZE_SWEEP = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4]
+ASPECT_SWEEP = [10.0, 100.0, 1000.0, 10000.0, 100000.0]
+SKEW_SWEEP = [1, 3, 5, 7, 9]
+
+
+def _default_memory(fanout: int) -> MemoryModel:
+    """A small (M, B) model keeping the paper's M ≫ B regime."""
+    return MemoryModel(memory_records=64 * fanout, block_records=fanout)
+
+
+# ----------------------------------------------------------------------
+# Bulk-loading experiments (Figures 9-11)
+# ----------------------------------------------------------------------
+
+
+def figure9(
+    n_eastern: int = 10_000,
+    n_western: int = 7_200,
+    fanout: int = 16,
+    memory: MemoryModel | None = None,
+    seed: int = 0,
+) -> Table:
+    """Figure 9: bulk-loading I/Os and time on the TIGER datasets.
+
+    Paper shape: H = H4 ≈ 2.5× fewer I/Os than PR; TGS ≈ 4.5× more than
+    PR.  In time, H/H4 are >3× faster than PR but TGS only ~3× slower —
+    H/H4/PR are more CPU-intensive than TGS.
+    """
+    memory = memory or _default_memory(fanout)
+    tm = TimeModel()
+    table = Table(
+        title="Figure 9: bulk-loading performance on TIGER-like data",
+        headers=["dataset", "variant", "io_blocks", "seq_frac", "model_io_s", "cpu_s"],
+    )
+    datasets = [
+        ("western", tiger_dataset(n_western, "western", seed=seed)),
+        ("eastern", tiger_dataset(n_eastern, "eastern", seed=seed)),
+    ]
+    for ds_name, data in datasets:
+        for variant in VARIANT_ORDER:
+            _, stats = build_variant_external(variant, data, fanout, memory)
+            table.add_row(
+                ds_name,
+                variant,
+                stats.io.total,
+                stats.io.sequential / stats.io.total if stats.io.total else 0.0,
+                tm.seconds(stats.io),
+                stats.cpu_seconds,
+            )
+    table.add_note(
+        f"n_eastern={n_eastern}, n_western={n_western}, B={fanout}, "
+        f"M={memory.memory_records} records (paper: 16.7M/12M rects, B=113)"
+    )
+    return table
+
+
+def figure10(
+    max_n: int = 10_000,
+    fanout: int = 16,
+    memory: MemoryModel | None = None,
+    seed: int = 0,
+) -> Table:
+    """Figure 10: bulk-loading I/Os on the five Eastern subsets.
+
+    Paper shape: H/H4/PR scale linearly in dataset size; TGS slightly
+    superlinearly (its log2 N recursion depth grows).
+    """
+    memory = memory or _default_memory(fanout)
+    table = Table(
+        title="Figure 10: bulk-loading I/Os vs dataset size (Eastern subsets)",
+        headers=["n", "variant", "io_blocks", "io_per_rect"],
+    )
+    for n, data in eastern_scaling_series(max_n, seed=seed):
+        for variant in VARIANT_ORDER:
+            _, stats = build_variant_external(variant, data, fanout, memory)
+            table.add_row(n, variant, stats.io.total, stats.io.total / n)
+    table.add_note(f"max_n={max_n}, B={fanout}, M={memory.memory_records} records")
+    return table
+
+
+def figure11(
+    n: int = 6_000,
+    fanout: int = 16,
+    memory: MemoryModel | None = None,
+    seed: int = 0,
+) -> Table:
+    """Figure 11: TGS bulk-loading cost across data distributions.
+
+    Paper shape: TGS build time varies by up to ~3.8× across
+    SIZE/ASPECT parameters (3726 s → 14 034 s) because its binary
+    partitions depend on the data; H/H4/PR are flat.  The table includes
+    the PR-tree on the same datasets as the flatness control.
+    """
+    memory = memory or _default_memory(fanout)
+    tm = TimeModel()
+    table = Table(
+        title="Figure 11: TGS bulk-loading cost by distribution (PR control)",
+        headers=["dataset", "variant", "io_blocks", "model_io_s", "cpu_s"],
+    )
+    workloads = [(f"size({s})", size_dataset(n, s, seed=seed)) for s in SIZE_SWEEP]
+    workloads += [
+        (f"aspect({int(a)})", aspect_dataset(n, a, seed=seed)) for a in ASPECT_SWEEP
+    ]
+    for ds_name, data in workloads:
+        for variant in ("TGS", "PR"):
+            _, stats = build_variant_external(variant, data, fanout, memory)
+            table.add_row(
+                ds_name, variant, stats.io.total, tm.seconds(stats.io), stats.cpu_seconds
+            )
+    table.add_note(f"n={n} per dataset, B={fanout} (paper: 10M rects per dataset)")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Query experiments (Figures 12-15)
+# ----------------------------------------------------------------------
+
+
+def _query_sweep_table(
+    title: str,
+    data,
+    fanout: int,
+    areas: list[float],
+    queries: int,
+    seed: int,
+) -> Table:
+    """Shared Figure 12/13 logic: area sweep on one dataset."""
+    table = Table(
+        title=title,
+        headers=["area_%", "variant", "cost_ratio", "avg_ios", "avg_T"],
+    )
+    bounds = dataset_bounds(data)
+    trees = {name: build_variant(name, data, fanout) for name in VARIANT_ORDER}
+    for area in areas:
+        workload = square_queries(bounds, area, count=queries, seed=seed)
+        for variant in VARIANT_ORDER:
+            metrics = measure_workload(trees[variant], workload)
+            table.add_row(
+                area, variant, metrics.cost_ratio, metrics.avg_ios, metrics.avg_reported
+            )
+    return table
+
+
+def figure12(
+    n: int = 10_000,
+    fanout: int = 16,
+    queries: int = 100,
+    areas: list[float] | None = None,
+    seed: int = 0,
+) -> Table:
+    """Figure 12: query cost vs window area, Western TIGER-like data.
+
+    Paper shape: all four variants within ~10 % of each other and close
+    to the T/B lower bound; TGS best, then PR, then H, then H4.
+    """
+    data = tiger_dataset(n, "western", seed=seed)
+    table = _query_sweep_table(
+        "Figure 12: query cost vs window area (Western)",
+        data,
+        fanout,
+        areas or AREA_SWEEP,
+        queries,
+        seed,
+    )
+    table.add_note(f"n={n}, B={fanout}, {queries} queries per point")
+    return table
+
+
+def figure13(
+    n: int = 10_000,
+    fanout: int = 16,
+    queries: int = 100,
+    areas: list[float] | None = None,
+    seed: int = 0,
+) -> Table:
+    """Figure 13: query cost vs window area, Eastern TIGER-like data."""
+    data = tiger_dataset(n, "eastern", seed=seed)
+    table = _query_sweep_table(
+        "Figure 13: query cost vs window area (Eastern)",
+        data,
+        fanout,
+        areas or AREA_SWEEP,
+        queries,
+        seed,
+    )
+    table.add_note(f"n={n}, B={fanout}, {queries} queries per point")
+    return table
+
+
+def figure14(
+    max_n: int = 12_000,
+    fanout: int = 16,
+    queries: int = 100,
+    area_percent: float = 1.0,
+    seed: int = 0,
+) -> Table:
+    """Figure 14: query cost vs dataset size, 1 % windows, Eastern.
+
+    Paper shape: the relative ordering (TGS ≤ PR ≤ H ≤ H4, all within
+    ~10 %) is stable across the five dataset sizes.
+    """
+    table = Table(
+        title="Figure 14: query cost vs dataset size (Eastern, 1% windows)",
+        headers=["n", "variant", "cost_ratio", "avg_ios", "avg_T"],
+    )
+    for n, data in eastern_scaling_series(max_n, seed=seed):
+        bounds = dataset_bounds(data)
+        workload = square_queries(bounds, area_percent, count=queries, seed=seed)
+        for variant in VARIANT_ORDER:
+            tree = build_variant(variant, data, fanout)
+            metrics = measure_workload(tree, workload)
+            table.add_row(
+                n, variant, metrics.cost_ratio, metrics.avg_ios, metrics.avg_reported
+            )
+    table.add_note(f"max_n={max_n}, B={fanout}, {queries} queries per point")
+    return table
+
+
+def figure15(
+    n: int = 10_000,
+    fanout: int = 16,
+    queries: int = 100,
+    panel: str = "all",
+    seed: int = 0,
+) -> Table:
+    """Figure 15: query cost on the synthetic extreme datasets.
+
+    Panels (select with ``panel``): ``size``, ``aspect``, ``skewed``.
+
+    Paper shape — the headline result:
+
+    * SIZE: for small rectangles everyone is near optimal; as max_side
+      grows PR and H4 stay best, TGS worse, H worst (up to ~2×).
+    * ASPECT: as aspect ratio grows PR ≈ H4 stay near optimal, TGS
+      degrades, H degrades badly.
+    * SKEWED: PR is *unaffected* (its construction only compares
+      same-axis coordinates); H, H4 and TGS degrade (H to ~340 %).
+    """
+    table = Table(
+        title=f"Figure 15 ({panel}): query cost on extreme synthetic data",
+        headers=["dataset", "variant", "cost_ratio", "avg_ios", "avg_T"],
+    )
+    workloads: list[tuple[str, list, object]] = []
+    if panel in ("all", "size"):
+        for s in SIZE_SWEEP:
+            workloads.append((f"size({s})", size_dataset(n, s, seed=seed), None))
+    if panel in ("all", "aspect"):
+        for a in ASPECT_SWEEP:
+            workloads.append(
+                (f"aspect({int(a)})", aspect_dataset(n, a, seed=seed), None)
+            )
+    if panel in ("all", "skewed"):
+        for c in SKEW_SWEEP:
+            workloads.append(
+                (f"skewed({c})", skewed_dataset(n, c, seed=seed), c)
+            )
+    if not workloads:
+        raise ValueError("panel must be one of: all, size, aspect, skewed")
+
+    for ds_name, data, skew_c in workloads:
+        bounds = dataset_bounds(data)
+        if skew_c is None:
+            workload = square_queries(bounds, 1.0, count=queries, seed=seed)
+        else:
+            workload = skewed_queries(skew_c, 1.0, count=queries, seed=seed)
+        for variant in VARIANT_ORDER:
+            tree = build_variant(variant, data, fanout)
+            metrics = measure_workload(tree, workload)
+            table.add_row(
+                ds_name, variant, metrics.cost_ratio, metrics.avg_ios, metrics.avg_reported
+            )
+    table.add_note(f"n={n} per dataset, B={fanout}, {queries} queries per point")
+    return table

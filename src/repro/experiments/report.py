@@ -1,0 +1,83 @@
+"""Plain-text result tables.
+
+Every experiment returns a :class:`Table`; benchmarks print it (visible
+with ``pytest -s``) and the EXPERIMENTS.md generator embeds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of results with aligned text rendering."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the header count)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text footnote."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one named column."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned monospace rendering with title and footnotes."""
+        cells = [[_fmt(h) for h in self.headers]] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[col]) for row in cells) for col in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering (for EXPERIMENTS.md)."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

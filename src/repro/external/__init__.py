@@ -1,0 +1,24 @@
+"""External-memory primitives under the (M, B) model.
+
+The paper builds on TPIE, "a library that provides support for
+implementing I/O-efficient algorithms and data structures" (Section 3.1).
+This package is the reproduction's TPIE: record streams stored in disk
+blocks, scanning, distribution, and external multiway merge sort — all
+moving data through a :class:`~repro.iomodel.blockstore.BlockStore` so
+every block touched is counted.
+
+The classic parameters:
+
+* ``B`` — records per block (derived from block size / record size);
+* ``M`` — records that fit in main memory (the paper restricts TPIE to
+  64 MB of its 128 MB machine).
+
+Sorting N records costs ``O((N/B) log_{M/B} (N/B))`` I/Os — the bound the
+paper's bulk-loading costs are expressed in.
+"""
+
+from repro.external.memory import MemoryModel
+from repro.external.stream import BlockStream, StreamWriter
+from repro.external.sort import external_sort
+
+__all__ = ["MemoryModel", "BlockStream", "StreamWriter", "external_sort"]

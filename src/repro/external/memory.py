@@ -1,0 +1,60 @@
+"""The (M, B) main-memory model for external algorithms.
+
+All external bulk loaders take a :class:`MemoryModel` describing how many
+records fit in a block (``B``) and in main memory (``M``); the classic
+external-memory cost bounds — and the paper's bulk-loading analysis — are
+stated in these two parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Main-memory budget for external-memory algorithms.
+
+    Attributes
+    ----------
+    memory_records:
+        ``M`` — number of records that fit in main memory at once.
+    block_records:
+        ``B`` — number of records per disk block.
+
+    The model requires ``M >= 4·B`` so that multiway merging (which needs
+    at least two input buffers and one output buffer, plus slack) is
+    possible; the paper additionally assumes ``M = Ω(B^(4/3))`` for the
+    grid-based PR-tree construction, which
+    :meth:`repro.prtree.gridbuild` checks for itself.
+    """
+
+    memory_records: int
+    block_records: int
+
+    def __post_init__(self) -> None:
+        if self.block_records < 1:
+            raise ValueError("block_records (B) must be >= 1")
+        if self.memory_records < 4 * self.block_records:
+            raise ValueError(
+                f"memory_records (M={self.memory_records}) must be at least "
+                f"4*B={4 * self.block_records} for multiway merging"
+            )
+
+    @property
+    def memory_blocks(self) -> int:
+        """``M/B`` — blocks of main memory."""
+        return self.memory_records // self.block_records
+
+    @property
+    def merge_fanin(self) -> int:
+        """Streams merged per pass: ``M/B - 1`` input buffers (≥ 2)."""
+        return max(2, self.memory_blocks - 1)
+
+    def blocks_for(self, n_records: int) -> int:
+        """``ceil(n/B)`` — blocks occupied by ``n_records`` records."""
+        return -(-n_records // self.block_records)
+
+    def fits_in_memory(self, n_records: int) -> bool:
+        """True when a working set of ``n_records`` fits in memory."""
+        return n_records <= self.memory_records

@@ -1,0 +1,179 @@
+"""Record streams stored in disk blocks.
+
+A :class:`BlockStream` is the reproduction's equivalent of a TPIE stream
+(or a flat file): an ordered sequence of records packed ``B`` to a block in
+a :class:`~repro.iomodel.blockstore.BlockStore`.  Reading iterates blocks
+in order (sequential I/O); writing goes through a :class:`StreamWriter`
+that buffers one block's worth of records at a time — so neither direction
+ever holds more than a block in "memory", and every block touched is
+counted by the store.
+
+Records are arbitrary Python objects; the external bulk loaders stream
+``(Rect, object_id)`` pairs and key-augmented variants of them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.iomodel.blockstore import BlockId, BlockStore
+
+
+class BlockStream:
+    """An immutable-once-written sequence of records in whole blocks.
+
+    Create streams with :meth:`from_records` (buffered write) or by
+    accumulating into a :class:`StreamWriter`.
+    """
+
+    def __init__(
+        self, store: BlockStore, block_records: int, block_ids: list[BlockId], length: int
+    ) -> None:
+        self.store = store
+        self.block_records = block_records
+        self.block_ids = block_ids
+        self._length = length
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, store: BlockStore, records: Iterable[Any], block_records: int
+    ) -> "BlockStream":
+        """Write ``records`` to freshly allocated blocks, B per block."""
+        writer = StreamWriter(store, block_records)
+        for record in records:
+            writer.append(record)
+        return writer.finish()
+
+    @classmethod
+    def empty(cls, store: BlockStore, block_records: int) -> "BlockStream":
+        """A stream with no records and no blocks."""
+        return cls(store, block_records, [], 0)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of records (known without I/O)."""
+        return self._length
+
+    @property
+    def block_count(self) -> int:
+        """Number of blocks occupied."""
+        return len(self.block_ids)
+
+    def iter_blocks(self) -> Iterator[list[Any]]:
+        """Yield each block's record list, counting one read per block."""
+        for block_id in self.block_ids:
+            yield self.store.read(block_id)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate records in order; one counted read per block."""
+        for block in self.iter_blocks():
+            yield from block
+
+    def read_all(self) -> list[Any]:
+        """Materialize every record (costs ``block_count`` reads).
+
+        Callers are responsible for only doing this when the stream fits
+        in their :class:`~repro.external.memory.MemoryModel` budget.
+        """
+        out: list[Any] = []
+        for block in self.iter_blocks():
+            out.extend(block)
+        return out
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def free(self) -> None:
+        """Release all blocks (no I/O cost; deallocation is metadata)."""
+        for block_id in self.block_ids:
+            self.store.free(block_id)
+        self.block_ids = []
+        self._length = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockStream(records={self._length}, blocks={self.block_count}, "
+            f"B={self.block_records})"
+        )
+
+
+class StreamWriter:
+    """Buffered writer producing a :class:`BlockStream`.
+
+    Holds at most one block of records in memory; flushes to a new block
+    whenever full.  Call :meth:`finish` exactly once to obtain the stream.
+    """
+
+    def __init__(self, store: BlockStore, block_records: int) -> None:
+        if block_records < 1:
+            raise ValueError("block_records must be >= 1")
+        self.store = store
+        self.block_records = block_records
+        self._buffer: list[Any] = []
+        self._block_ids: list[BlockId] = []
+        self._length = 0
+        self._finished = False
+
+    def append(self, record: Any) -> None:
+        """Add one record, flushing a full buffer to disk."""
+        if self._finished:
+            raise RuntimeError("writer already finished")
+        self._buffer.append(record)
+        self._length += 1
+        if len(self._buffer) >= self.block_records:
+            self._flush()
+
+    def extend(self, records: Iterable[Any]) -> None:
+        """Append many records."""
+        for record in records:
+            self.append(record)
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._block_ids.append(self.store.allocate(self._buffer))
+            self._buffer = []
+
+    def finish(self) -> BlockStream:
+        """Flush the tail and return the completed stream."""
+        if self._finished:
+            raise RuntimeError("writer already finished")
+        self._flush()
+        self._finished = True
+        return BlockStream(
+            self.store, self.block_records, self._block_ids, self._length
+        )
+
+    def __len__(self) -> int:
+        return self._length
+
+
+def distribute(
+    stream: BlockStream,
+    classify: Callable[[Any], int],
+    n_buckets: int,
+    free_input: bool = False,
+) -> list[BlockStream]:
+    """Partition a stream into ``n_buckets`` streams in one scan.
+
+    ``classify`` maps each record to its bucket index.  This is the
+    external "distribution" primitive the bulk loaders use to send records
+    to recursive subproblems; it costs one read per input block plus one
+    write per output block.
+    """
+    writers = [StreamWriter(stream.store, stream.block_records) for _ in range(n_buckets)]
+    for record in stream:
+        bucket = classify(record)
+        if not 0 <= bucket < n_buckets:
+            raise ValueError(f"classifier returned {bucket}, expected 0..{n_buckets - 1}")
+        writers[bucket].append(record)
+    if free_input:
+        stream.free()
+    return [w.finish() for w in writers]

@@ -1,0 +1,29 @@
+"""Geometric substrate: d-dimensional rectangles and space-filling curves.
+
+This package provides the two geometric primitives everything else in the
+reproduction is built on:
+
+* :class:`repro.geometry.rect.Rect` — an immutable axis-parallel
+  d-dimensional (hyper-)rectangle, the object the paper's R-trees index.
+* :mod:`repro.geometry.hilbert` — a d-dimensional Hilbert space-filling
+  curve (Skilling's algorithm), used by the packed Hilbert and
+  four-dimensional Hilbert bulk loaders.
+"""
+
+from repro.geometry.rect import Rect, mbr_of, point_rect
+from repro.geometry.hilbert import (
+    hilbert_index,
+    hilbert_point,
+    hilbert_key_for_center,
+    hilbert_key_for_corners,
+)
+
+__all__ = [
+    "Rect",
+    "mbr_of",
+    "point_rect",
+    "hilbert_index",
+    "hilbert_point",
+    "hilbert_key_for_center",
+    "hilbert_key_for_corners",
+]

@@ -1,0 +1,34 @@
+"""The Priority R-tree — the paper's contribution.
+
+* :mod:`repro.prtree.pseudo` — the **pseudo-PR-tree** (Section 2.1): a
+  kd-tree over the 2d-dimensional corner mapping of the input rectangles
+  in which every internal node carries 2d *priority leaves* holding the B
+  most extreme rectangles in each axis direction.  It answers window
+  queries in O((N/B)^(1-1/d) + T/B) I/Os but is not a real R-tree (leaves
+  sit at different levels, degree is 2d+2).
+* :mod:`repro.prtree.prtree` — the **PR-tree** (Sections 2.2–2.3): a real
+  R-tree (fan-out Θ(B), all leaves level) obtained by building
+  pseudo-PR-trees bottom-up, level by level, keeping only their leaves.
+* :mod:`repro.prtree.gridbuild` — the I/O-efficient bulk-loading
+  algorithm (Section 2.1, "Efficient construction"): grid-partitioned
+  kd-node construction, streaming priority-leaf filtering, and sorted-list
+  distribution, in O((N/B) log_{M/B} (N/B)) I/Os.
+* :mod:`repro.prtree.logmethod` — the dynamic PR-tree via the external
+  logarithmic method (Section 1.2): optimal queries preserved under
+  insertions and deletions.
+"""
+
+from repro.prtree.pseudo import PseudoPRTree, PseudoNode, PseudoLeaf
+from repro.prtree.prtree import build_prtree, prtree_query_bound
+from repro.prtree.gridbuild import build_prtree_external
+from repro.prtree.logmethod import LogMethodPRTree
+
+__all__ = [
+    "PseudoPRTree",
+    "PseudoNode",
+    "PseudoLeaf",
+    "build_prtree",
+    "prtree_query_bound",
+    "build_prtree_external",
+    "LogMethodPRTree",
+]

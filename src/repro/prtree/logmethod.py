@@ -1,0 +1,241 @@
+"""Dynamic PR-tree via the external logarithmic method (paper Section 1.2).
+
+"Alternatively, the external logarithmic method [4, 20] can be used to
+develop a structure that supports insertions and deletions in
+O(log_B (N/M) + (1/B)(log_{M/B} (N/B))(log2 (N/M))) and O(log_B (N/M))
+I/Os amortized, respectively, while maintaining the optimal query
+performance."
+
+The classic construction: maintain O(log N) *components*, component i
+being either empty or a static (bulk-loaded) PR-tree of at most ``base^i``
+rectangles.  An insertion finds the smallest level whose cumulative
+capacity absorbs all smaller components plus the new record and rebuilds
+that single component from scratch; since bulk-loading is sort-cost, each
+record is rebuilt O(log N) times, giving the amortized insertion bound.
+Deletions mark a tombstone (weak delete); once half the stored records are
+tombstones the whole structure is rebuilt, which keeps both the space and
+the query bound: a window query runs on every live component — O(log N)
+of them, each worst-case optimal — and filters tombstones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.prtree import build_prtree
+from repro.rtree.query import QueryEngine, QueryStats
+from repro.rtree.tree import RTree
+
+
+@dataclass
+class _Component:
+    """One static PR-tree plus the records it was built from."""
+
+    tree: RTree
+    records: list[tuple[Rect, int]]  # (rect, sequence id)
+    engine: QueryEngine
+
+
+class LogMethodPRTree:
+    """A dynamic spatial index with PR-tree query optimality.
+
+    Parameters
+    ----------
+    store:
+        Block store for all component trees.
+    fanout:
+        B — node capacity of every component PR-tree.
+    dim:
+        Spatial dimension.
+    base:
+        Component growth factor (2 is the textbook choice; larger bases
+        trade fewer components against more frequent rebuilds).
+
+    Examples
+    --------
+    >>> from repro.iomodel import BlockStore
+    >>> index = LogMethodPRTree(BlockStore(), fanout=8)
+    >>> key = index.insert(Rect((0, 0), (1, 1)), "a")
+    >>> [value for _, value in index.query(Rect((0, 0), (2, 2)))]
+    ['a']
+    >>> index.delete(Rect((0, 0), (1, 1)), "a")
+    True
+    >>> index.query(Rect((0, 0), (2, 2)))
+    []
+    """
+
+    def __init__(
+        self, store: BlockStore, fanout: int, dim: int = 2, base: int = 2
+    ) -> None:
+        if base < 2:
+            raise ValueError("base must be >= 2")
+        self.store = store
+        self.fanout = fanout
+        self.dim = dim
+        self.base = base
+        self._components: dict[int, _Component] = {}
+        #: sequence id -> (rect, value); removed on delete.
+        self._live: dict[int, tuple[Rect, Any]] = {}
+        self._dead: set[int] = set()
+        self._next_seq = 0
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Sizing helpers
+    # ------------------------------------------------------------------
+
+    def _capacity(self, level: int) -> int:
+        """Maximum records of component ``level``."""
+        return self.base**level
+
+    @property
+    def live_count(self) -> int:
+        """Records inserted and not deleted."""
+        return len(self._live)
+
+    @property
+    def stored_count(self) -> int:
+        """Records physically present in components (incl. tombstoned)."""
+        return sum(len(c.records) for c in self._components.values())
+
+    def __len__(self) -> int:
+        return self.live_count
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, value: Any) -> int:
+        """Insert a rectangle; returns its sequence key."""
+        if rect.dim != self.dim:
+            raise ValueError(f"rect dim {rect.dim} != index dim {self.dim}")
+        seq = self._next_seq
+        self._next_seq += 1
+        self._live[seq] = (rect, value)
+
+        # Gather components 0..j whose records, plus the new one, fit in
+        # level j; rebuild them as a single component at level j.
+        pending: list[tuple[Rect, int]] = [(rect, seq)]
+        level = 0
+        while True:
+            component = self._components.get(level)
+            extra = len(component.records) if component else 0
+            if len(pending) + extra <= self._capacity(level):
+                if component:
+                    pending.extend(component.records)
+                    del self._components[level]
+                break
+            if component:
+                pending.extend(component.records)
+                del self._components[level]
+            level += 1
+        self._build_component(level, pending)
+        return seq
+
+    def delete(self, rect: Rect, value: Any) -> bool:
+        """Weak-delete one record matching ``(rect, value)``.
+
+        Returns True when found.  Triggers a global rebuild once
+        tombstones reach half of the stored records.
+        """
+        target = None
+        for seq, (stored_rect, stored_value) in self._live.items():
+            if stored_rect == rect and stored_value == value:
+                target = seq
+                break
+        if target is None:
+            return False
+        del self._live[target]
+        self._dead.add(target)
+        if self._dead and self._dead_fraction() >= 0.5:
+            self._global_rebuild()
+        return True
+
+    def _dead_fraction(self) -> float:
+        stored = self.stored_count
+        return len(self._dead) / stored if stored else 0.0
+
+    def _build_component(self, level: int, records: list[tuple[Rect, int]]) -> None:
+        """(Re)build one component as a static PR-tree."""
+        # Drop tombstoned records for free while rebuilding anyway — and
+        # retire their tombstones, since the records no longer exist
+        # anywhere (keeps the dead-fraction accounting exact).
+        dropped = {seq for _, seq in records if seq in self._dead}
+        if dropped:
+            self._dead -= dropped
+            records = [(r, seq) for r, seq in records if seq not in dropped]
+        if not records:
+            return
+        tree = build_prtree(
+            self.store, [(r, seq) for r, seq in records], self.fanout
+        )
+        self._components[level] = _Component(
+            tree=tree, records=records, engine=QueryEngine(tree)
+        )
+        self.rebuilds += 1
+
+    def _global_rebuild(self) -> None:
+        """Rebuild everything from the live set; clears all tombstones."""
+        records = [(rect, seq) for seq, (rect, _) in self._live.items()]
+        self._components.clear()
+        self._dead.clear()
+        if not records:
+            return
+        level = 0
+        while self._capacity(level) < len(records):
+            level += 1
+        self._build_component(level, records)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, window: Rect) -> list[tuple[Rect, Any]]:
+        """Window query across all components, tombstones filtered."""
+        matches, _ = self.query_with_stats(window)
+        return matches
+
+    def query_with_stats(self, window: Rect) -> tuple[list[tuple[Rect, Any]], QueryStats]:
+        """Window query returning summed per-component I/O statistics."""
+        totals = QueryStats(queries=1)
+        matches: list[tuple[Rect, Any]] = []
+        for component in self._components.values():
+            found, stats = component.engine.query(window)
+            totals.leaf_reads += stats.leaf_reads
+            totals.internal_reads += stats.internal_reads
+            totals.internal_visits += stats.internal_visits
+            for rect, seq in found:
+                if seq in self._live:
+                    matches.append((rect, self._live[seq][1]))
+                    totals.reported += 1
+        return matches, totals
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def components(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(level, record_count)`` for every live component."""
+        for level in sorted(self._components):
+            yield level, len(self._components[level].records)
+
+    def check_invariants(self) -> None:
+        """Assert the logarithmic-method size discipline."""
+        for level, component in self._components.items():
+            if not component.records:
+                raise AssertionError(f"empty component at level {level}")
+            if len(component.records) > self._capacity(level):
+                raise AssertionError(
+                    f"component {level} holds {len(component.records)} "
+                    f"records, capacity {self._capacity(level)}"
+                )
+        if self.stored_count:
+            if len(self._dead) / self.stored_count > 0.5:
+                raise AssertionError("tombstones exceed half the stored records")
+
+    def __repr__(self) -> str:
+        comps = ", ".join(f"{lvl}:{cnt}" for lvl, cnt in self.components())
+        return f"LogMethodPRTree(live={self.live_count}, components=[{comps}])"

@@ -1,0 +1,66 @@
+"""R-tree node payloads.
+
+A node is what one disk block holds: a leaf flag and up to ``fanout``
+entries.  Each entry pairs a rectangle with a pointer — for an internal
+node the rectangle is the minimal bounding box of a child's subtree and the
+pointer is that child's block id; for a leaf the rectangle is an input
+(data) rectangle and the pointer identifies the original object (the
+paper's "pointer to the original data").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.geometry.rect import Rect, mbr_of
+
+#: One node entry: (bounding rectangle, child block id or data object id).
+Entry = tuple[Rect, int]
+
+
+class Node:
+    """A decoded R-tree node (the payload of exactly one block).
+
+    Nodes are plain mutable containers; all structure maintenance lives in
+    the builders and :mod:`repro.rtree.update`.
+    """
+
+    __slots__ = ("is_leaf", "entries")
+
+    def __init__(self, is_leaf: bool, entries: Iterable[Entry] | None = None):
+        self.is_leaf = is_leaf
+        self.entries: list[Entry] = list(entries) if entries is not None else []
+
+    def mbr(self) -> Rect:
+        """Minimal bounding box of all entries (the node's outward face)."""
+        if not self.entries:
+            raise ValueError("empty node has no bounding box")
+        return mbr_of(rect for rect, _ in self.entries)
+
+    def add(self, rect: Rect, pointer: int) -> None:
+        """Append one entry."""
+        self.entries.append((rect, pointer))
+
+    def remove(self, rect: Rect, pointer: int) -> bool:
+        """Remove the first entry equal to ``(rect, pointer)``.
+
+        Returns True when an entry was removed.
+        """
+        try:
+            self.entries.remove((rect, pointer))
+        except ValueError:
+            return False
+        return True
+
+    def child_ids(self) -> list[int]:
+        """Block ids of all children (internal nodes only)."""
+        if self.is_leaf:
+            raise ValueError("leaves have no children")
+        return [pointer for _, pointer in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"Node({kind}, {len(self.entries)} entries)"

@@ -1,0 +1,166 @@
+"""Whole-tree serialization through the byte-exact node codec.
+
+The simulator keeps nodes decoded for speed, but the paper's physical
+layout (36-byte entries in 4 KB blocks, Section 3.1) is fully honoured by
+:class:`~repro.iomodel.codec.NodeCodec`.  This module uses it to flatten
+a tree into real bytes — one block per node plus a fixed-size superblock —
+and to rebuild an identical tree from those bytes.
+
+Uses:
+
+* proving the layout assumption end-to-end (a tree round-trips through
+  the exact on-disk format, fan-out limits enforced);
+* shipping a bulk-loaded index between processes (object values are the
+  caller's problem — the image stores object *ids*; pass the same values
+  back to :func:`deserialize_tree` or reattach afterwards).
+
+Image format (little-endian)::
+
+    superblock: magic "PRT1" | u16 dim | u32 block_size | u32 fanout
+                | u32 height | u64 size | u64 n_blocks | u64 root_index
+    blocks:     n_blocks x block_size raw node blocks
+
+Block ids are remapped to dense indices 0..n_blocks-1 in the image and
+remapped back to fresh block-store addresses on load, so images are
+independent of the allocation history that produced them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable
+
+from repro.iomodel.blockstore import BlockStore
+from repro.iomodel.codec import NodeCodec
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+
+_MAGIC = b"PRT1"
+_SUPERBLOCK = "<4sHIIIQQQ"
+_SUPERBLOCK_BYTES = struct.calcsize(_SUPERBLOCK)
+
+
+class PersistError(ValueError):
+    """The byte image is malformed or inconsistent."""
+
+
+def serialize_tree(tree: RTree, block_size: int = 4096) -> bytes:
+    """Flatten a tree into a self-contained byte image.
+
+    Raises ``ValueError`` (via the codec) if any node exceeds the
+    fan-out the block size allows for this dimension — i.e. the tree
+    physically would not fit the claimed block size.
+    """
+    codec = NodeCodec(dim=tree.dim, block_size=block_size)
+    if tree.fanout > codec.fanout:
+        raise PersistError(
+            f"tree fan-out {tree.fanout} exceeds what a {block_size}-byte "
+            f"block holds in {tree.dim}D ({codec.fanout})"
+        )
+
+    # Dense preorder numbering of live nodes.
+    order: list[int] = [bid for bid, _, _ in tree.iter_nodes()]
+    index_of = {bid: i for i, bid in enumerate(order)}
+
+    blocks: list[bytes] = []
+    for bid in order:
+        node = tree.peek_node(bid)
+        if node.is_leaf:
+            entries = node.entries
+        else:
+            entries = [
+                (rect, index_of[child]) for rect, child in node.entries
+            ]
+        blocks.append(codec.encode(node.is_leaf, entries))
+
+    header = struct.pack(
+        _SUPERBLOCK,
+        _MAGIC,
+        tree.dim,
+        block_size,
+        tree.fanout,
+        tree.height,
+        tree.size,
+        len(blocks),
+        index_of[tree.root_id],
+    )
+    return header + b"".join(blocks)
+
+
+def deserialize_tree(
+    image: bytes,
+    store: BlockStore,
+    values: dict[int, Any] | Callable[[int], Any] | None = None,
+) -> RTree:
+    """Rebuild a tree from :func:`serialize_tree` output.
+
+    Parameters
+    ----------
+    image:
+        The byte image.
+    store:
+        Destination block store (fresh addresses are allocated).
+    values:
+        Optional object-id → value mapping (dict or callable) used to
+        repopulate the tree's object table; ids without a mapping get
+        ``None``.
+    """
+    if len(image) < _SUPERBLOCK_BYTES:
+        raise PersistError("image shorter than the superblock")
+    magic, dim, block_size, fanout, height, size, n_blocks, root_index = (
+        struct.unpack_from(_SUPERBLOCK, image, 0)
+    )
+    if magic != _MAGIC:
+        raise PersistError(f"bad magic {magic!r}")
+    expected = _SUPERBLOCK_BYTES + n_blocks * block_size
+    if len(image) != expected:
+        raise PersistError(
+            f"image is {len(image)} bytes, superblock promises {expected}"
+        )
+    if n_blocks == 0 or root_index >= n_blocks:
+        raise PersistError("root index outside the image")
+
+    codec = NodeCodec(dim=dim, block_size=block_size)
+    decoded: list[tuple[bool, list]] = []
+    for i in range(n_blocks):
+        offset = _SUPERBLOCK_BYTES + i * block_size
+        decoded.append(codec.decode(image[offset : offset + block_size]))
+
+    # Allocate fresh blocks, then rewrite child indices to real ids.
+    block_ids = [store.allocate(None) for _ in range(n_blocks)]
+    tree = RTree(
+        store,
+        root_id=block_ids[root_index],
+        dim=dim,
+        fanout=fanout,
+        height=height,
+        size=size,
+    )
+
+    lookup: Callable[[int], Any]
+    if values is None:
+        lookup = lambda oid: None
+    elif callable(values):
+        lookup = values
+    else:
+        lookup = values.get
+
+    max_oid = -1
+    for i, (is_leaf, entries) in enumerate(decoded):
+        if is_leaf:
+            node = Node(True, entries)
+            for _, oid in entries:
+                tree.objects[oid] = lookup(oid)
+                max_oid = max(max_oid, oid)
+        else:
+            remapped = []
+            for rect, child_index in entries:
+                if child_index >= n_blocks:
+                    raise PersistError(
+                        f"block {i} points outside the image ({child_index})"
+                    )
+                remapped.append((rect, block_ids[child_index]))
+            node = Node(False, remapped)
+        store.write(block_ids[i], node)
+    tree._next_oid = max_oid + 1
+    return tree

@@ -1,0 +1,248 @@
+r"""R*-tree insertion (Beckmann, Kriegel, Schneider, Seeger 1990).
+
+The paper cites the R*-tree [6] as the canonical heuristic-update
+R-tree — it is also what mainstream libraries ship today, which makes it
+the natural "production baseline" for the dynamic-update ablations.  The
+reproduction implements the three R* ingredients on top of the shared
+tree representation:
+
+* **ChooseSubtree** — descend by least *overlap* enlargement at the leaf
+  level (least area enlargement above it);
+* **Forced reinsertion** — the first time a node overflows on a given
+  level during one insertion, evict the 30 % of entries whose centers
+  lie farthest from the node's center and reinsert them, instead of
+  splitting;
+* **R\* split** — choose the split axis by minimum total margin over all
+  legal distributions, then the distribution with minimal overlap
+  (ties: minimal total area).
+
+Deletion is unchanged from Guttman (:func:`repro.rtree.update.delete`
+works on any tree).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.geometry.rect import Rect, mbr_of
+from repro.rtree.node import Entry, Node
+from repro.rtree.tree import RTree
+
+#: Fraction of entries evicted by forced reinsertion (the R* paper's p).
+REINSERT_FRACTION = 0.3
+
+
+# ----------------------------------------------------------------------
+# R* split
+# ----------------------------------------------------------------------
+
+
+def _distributions(entries: list[Entry], min_fill: int):
+    """All legal (first-group-size) cut points."""
+    return range(min_fill, len(entries) - min_fill + 1)
+
+
+def rstar_split(
+    entries: list[Entry], min_fill: int
+) -> tuple[list[Entry], list[Entry]]:
+    """The R*-tree split: margin-minimal axis, overlap-minimal cut."""
+    if len(entries) < 2:
+        raise ValueError("cannot split fewer than 2 entries")
+    if min_fill < 1 or 2 * min_fill > len(entries):
+        raise ValueError(
+            f"min_fill {min_fill} infeasible for {len(entries)} entries"
+        )
+    dim = entries[0][0].dim
+
+    best_axis_margin = float("inf")
+    best_axis_orderings: list[list[Entry]] = []
+    for axis in range(dim):
+        by_lo = sorted(entries, key=lambda e: (e[0].lo[axis], e[0].hi[axis]))
+        by_hi = sorted(entries, key=lambda e: (e[0].hi[axis], e[0].lo[axis]))
+        margin = 0.0
+        for ordering in (by_lo, by_hi):
+            for cut in _distributions(ordering, min_fill):
+                margin += mbr_of(r for r, _ in ordering[:cut]).margin()
+                margin += mbr_of(r for r, _ in ordering[cut:]).margin()
+        if margin < best_axis_margin:
+            best_axis_margin = margin
+            best_axis_orderings = [by_lo, by_hi]
+
+    best = None
+    best_key = (float("inf"), float("inf"))
+    for ordering in best_axis_orderings:
+        # Prefix/suffix boxes for O(n) evaluation per ordering.
+        prefixes: list[Rect] = []
+        box = None
+        for rect, _ in ordering:
+            box = rect if box is None else box.union(rect)
+            prefixes.append(box)
+        suffixes: list[Rect] = [None] * len(ordering)  # type: ignore[list-item]
+        box = None
+        for i in range(len(ordering) - 1, -1, -1):
+            rect = ordering[i][0]
+            box = rect if box is None else box.union(rect)
+            suffixes[i] = box
+        for cut in _distributions(ordering, min_fill):
+            left_box = prefixes[cut - 1]
+            right_box = suffixes[cut]
+            inter = left_box.intersection(right_box)
+            overlap = inter.area() if inter is not None else 0.0
+            key = (overlap, left_box.area() + right_box.area())
+            if key < best_key:
+                best_key = key
+                best = (list(ordering[:cut]), list(ordering[cut:]))
+    assert best is not None
+    return best
+
+
+# ----------------------------------------------------------------------
+# ChooseSubtree
+# ----------------------------------------------------------------------
+
+
+def _overlap_with_siblings(node: Node, candidate: int, box: Rect) -> float:
+    """Total overlap of ``box`` with the other children's boxes."""
+    total = 0.0
+    for idx, (other, _) in enumerate(node.entries):
+        if idx == candidate:
+            continue
+        inter = box.intersection(other)
+        if inter is not None:
+            total += inter.area()
+    return total
+
+
+def _choose_subtree(tree: RTree, node: Node, rect: Rect, children_are_leaves: bool) -> int:
+    if children_are_leaves:
+        # Minimize overlap enlargement; ties by area enlargement, then area.
+        best_idx = 0
+        best_key = None
+        for idx, (box, _) in enumerate(node.entries):
+            grown = box.union(rect)
+            overlap_delta = _overlap_with_siblings(
+                node, idx, grown
+            ) - _overlap_with_siblings(node, idx, box)
+            key = (overlap_delta, grown.area() - box.area(), box.area())
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = idx
+        return best_idx
+    best_idx = 0
+    best_key = None
+    for idx, (box, _) in enumerate(node.entries):
+        key = (box.enlargement(rect), box.area())
+        if best_key is None or key < best_key:
+            best_key = key
+            best_idx = idx
+    return best_idx
+
+
+# ----------------------------------------------------------------------
+# Insertion with forced reinsertion
+# ----------------------------------------------------------------------
+
+
+def rstar_insert(tree: RTree, rect: Rect, value: Any) -> int:
+    """Insert with the R*-tree algorithm; returns the object id."""
+    if rect.dim != tree.dim:
+        raise ValueError(f"rect has dim {rect.dim}, tree indexes dim {tree.dim}")
+    oid = tree.register_object(value)
+    _insert(tree, rect, oid, target_level=0, reinserted_levels=set())
+    tree.size += 1
+    return oid
+
+
+def _insert(
+    tree: RTree,
+    rect: Rect,
+    pointer: int,
+    target_level: int,
+    reinserted_levels: set[int],
+) -> None:
+    path: list[tuple[int, Node, int]] = []
+    block_id = tree.root_id
+    node = tree.read_node(block_id)
+    level = tree.height - 1
+    while level > target_level:
+        children_are_leaves = level == 1 and target_level == 0
+        child_idx = _choose_subtree(tree, node, rect, children_are_leaves)
+        path.append((block_id, node, child_idx))
+        block_id = node.entries[child_idx][1]
+        node = tree.read_node(block_id)
+        level -= 1
+
+    node.add(rect, pointer)
+    _overflow_treatment(tree, path, block_id, node, target_level, reinserted_levels)
+
+
+def _overflow_treatment(
+    tree: RTree,
+    path: list[tuple[int, Node, int]],
+    block_id: int,
+    node: Node,
+    level: int,
+    reinserted_levels: set[int],
+) -> None:
+    """Write back, handling overflow by reinsertion or split (bottom-up)."""
+    split_sibling: tuple[Rect, int] | None = None
+    to_reinsert: list[tuple[Entry, int]] = []
+
+    if len(node) > tree.fanout:
+        is_root = block_id == tree.root_id
+        if level not in reinserted_levels and not is_root:
+            # Forced reinsertion: evict the entries farthest from the
+            # node's center (once per level per insertion).
+            reinserted_levels.add(level)
+            center = node.mbr().center()
+
+            def distance(entry: Entry) -> float:
+                c = entry[0].center()
+                return sum((a - b) ** 2 for a, b in zip(c, center))
+
+            node.entries.sort(key=distance)
+            count = max(1, int(len(node.entries) * REINSERT_FRACTION))
+            evicted = node.entries[-count:]
+            node.entries = node.entries[:-count]
+            to_reinsert = [(entry, level) for entry in evicted]
+        else:
+            group_a, group_b = rstar_split(node.entries, tree.min_fill)
+            node.entries = group_a
+            sibling = Node(node.is_leaf, group_b)
+            sibling_id = tree.store.allocate(sibling)
+            split_sibling = (sibling.mbr(), sibling_id)
+
+    tree.write_node(block_id, node)
+    child_mbr = node.mbr() if node.entries else None
+    child_id = block_id
+
+    for parent_id, parent, child_idx in reversed(path):
+        level += 1
+        if child_mbr is not None:
+            parent.entries[child_idx] = (child_mbr, child_id)
+        else:  # node emptied by reinsertion; drop the entry
+            del parent.entries[child_idx]
+        if split_sibling is not None:
+            parent.add(*split_sibling)
+            split_sibling = None
+        if len(parent) > tree.fanout:
+            group_a, group_b = rstar_split(parent.entries, tree.min_fill)
+            parent.entries = group_a
+            sibling = Node(parent.is_leaf, group_b)
+            sibling_id = tree.store.allocate(sibling)
+            split_sibling = (sibling.mbr(), sibling_id)
+        tree.write_node(parent_id, parent)
+        child_mbr = parent.mbr() if parent.entries else None
+        child_id = parent_id
+
+    if split_sibling is not None:
+        old_root = tree.store.peek(tree.root_id)
+        new_root = Node(
+            is_leaf=False,
+            entries=[(old_root.mbr(), tree.root_id), split_sibling],
+        )
+        tree.root_id = tree.store.allocate(new_root)
+        tree.height += 1
+
+    for (rect, pointer), entry_level in to_reinsert:
+        _insert(tree, rect, pointer, entry_level, reinserted_levels)

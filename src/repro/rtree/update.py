@@ -1,0 +1,220 @@
+"""Standard dynamic R-tree updates (Guttman 1984).
+
+The paper: "Guttman gave several algorithms for updating an R-tree in
+O(log_B N) I/Os using B-tree-like algorithms" and "after bulk-loading, a
+PR-tree can be updated in O(log_B N) I/Os using the standard R-tree
+updating algorithms, but without maintaining its query efficiency"
+(Sections 1.1, 1.2).  This module is those standard algorithms:
+
+* **Insert** — ChooseLeaf by least enlargement, split on overflow
+  (quadratic by default), AdjustTree upward, root split grows the tree.
+* **Delete** — FindLeaf, remove, CondenseTree (underfull nodes are
+  dissolved and their entries reinserted at the correct level), root
+  collapse shrinks the tree.
+
+All node reads/writes go through the tree's counted accessors, so update
+I/O cost is measurable just like query cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.geometry.rect import Rect
+from repro.rtree.node import Entry, Node
+from repro.rtree.split import quadratic_split
+from repro.rtree.tree import RTree
+
+Splitter = Callable[[list[Entry], int], tuple[list[Entry], list[Entry]]]
+
+
+# ----------------------------------------------------------------------
+# Insertion
+# ----------------------------------------------------------------------
+
+
+def insert(
+    tree: RTree, rect: Rect, value: Any, splitter: Splitter = quadratic_split
+) -> int:
+    """Insert a data rectangle; returns the assigned object id."""
+    if rect.dim != tree.dim:
+        raise ValueError(f"rect has dim {rect.dim}, tree indexes dim {tree.dim}")
+    oid = tree.register_object(value)
+    _insert_at_level(tree, rect, oid, target_level=0, splitter=splitter)
+    tree.size += 1
+    return oid
+
+
+def _choose_subtree(node: Node, rect: Rect) -> int:
+    """Index of the child entry needing least enlargement (ties: area)."""
+    best_idx = 0
+    best_growth = float("inf")
+    best_area = float("inf")
+    for idx, (box, _) in enumerate(node.entries):
+        growth = box.enlargement(rect)
+        area = box.area()
+        if growth < best_growth or (growth == best_growth and area < best_area):
+            best_idx = idx
+            best_growth = growth
+            best_area = area
+    return best_idx
+
+
+def _insert_at_level(
+    tree: RTree, rect: Rect, pointer: int, target_level: int, splitter: Splitter
+) -> None:
+    """Insert an entry into a node at ``target_level`` (0 = leaves).
+
+    Used both for data inserts (level 0) and for CondenseTree's
+    reinsertion of orphaned subtrees at their original level.
+    """
+    # Descend, recording the path as (block_id, node, chosen child index).
+    path: list[tuple[int, Node, int]] = []
+    block_id = tree.root_id
+    node = tree.read_node(block_id)
+    level = tree.height - 1
+    while level > target_level:
+        child_idx = _choose_subtree(node, rect)
+        path.append((block_id, node, child_idx))
+        block_id = node.entries[child_idx][1]
+        node = tree.read_node(block_id)
+        level -= 1
+
+    node.add(rect, pointer)
+    _propagate_up(tree, path, block_id, node, splitter)
+
+
+def _propagate_up(
+    tree: RTree,
+    path: list[tuple[int, Node, int]],
+    block_id: int,
+    node: Node,
+    splitter: Splitter,
+) -> None:
+    """AdjustTree: write back, split overflowing nodes, grow the root."""
+    split_sibling: tuple[Rect, int] | None = None
+
+    if len(node) > tree.fanout:
+        group_a, group_b = splitter(node.entries, tree.min_fill)
+        node.entries = group_a
+        sibling = Node(node.is_leaf, group_b)
+        sibling_id = tree.store.allocate(sibling)
+        split_sibling = (sibling.mbr(), sibling_id)
+    tree.write_node(block_id, node)
+
+    child_mbr = node.mbr()
+    child_id = block_id
+
+    for parent_id, parent, child_idx in reversed(path):
+        parent.entries[child_idx] = (child_mbr, child_id)
+        if split_sibling is not None:
+            parent.add(*split_sibling)
+            split_sibling = None
+        if len(parent) > tree.fanout:
+            group_a, group_b = splitter(parent.entries, tree.min_fill)
+            parent.entries = group_a
+            sibling = Node(parent.is_leaf, group_b)
+            sibling_id = tree.store.allocate(sibling)
+            split_sibling = (sibling.mbr(), sibling_id)
+        tree.write_node(parent_id, parent)
+        child_mbr = parent.mbr()
+        child_id = parent_id
+
+    if split_sibling is not None:
+        # The root itself split: grow the tree by one level.
+        old_root = tree.store.peek(tree.root_id)
+        new_root = Node(
+            is_leaf=False,
+            entries=[(old_root.mbr(), tree.root_id), split_sibling],
+        )
+        tree.root_id = tree.store.allocate(new_root)
+        tree.height += 1
+
+
+# ----------------------------------------------------------------------
+# Deletion
+# ----------------------------------------------------------------------
+
+
+def delete(tree: RTree, rect: Rect, value: Any) -> bool:
+    """Delete one data rectangle equal to ``rect`` whose value matches.
+
+    Returns True when an entry was found and removed.  Matching compares
+    the stored value by equality; passing the value returned at insert
+    time (or by a query) deletes that entry.
+    """
+    found = _find_leaf(tree, rect, value)
+    if found is None:
+        return False
+    path, leaf_id, leaf, entry_idx = found
+    oid = leaf.entries[entry_idx][1]
+    del leaf.entries[entry_idx]
+    tree.objects.pop(oid, None)
+    tree.size -= 1
+    _condense_tree(tree, path, leaf_id, leaf)
+    return True
+
+
+def _find_leaf(
+    tree: RTree, rect: Rect, value: Any
+) -> tuple[list[tuple[int, Node, int]], int, Node, int] | None:
+    """Locate a leaf containing ``(rect, value)``.
+
+    Returns ``(path, leaf_block_id, leaf, entry_index)`` where path lists
+    ``(block_id, node, child_index)`` from the root down.  Depth-first
+    search over all subtrees whose boxes contain ``rect``.
+    """
+    stack: list[tuple[int, list[tuple[int, Node, int]]]] = [(tree.root_id, [])]
+    while stack:
+        block_id, path = stack.pop()
+        node = tree.read_node(block_id)
+        if node.is_leaf:
+            for idx, (box, oid) in enumerate(node.entries):
+                if box == rect and tree.objects.get(oid) == value:
+                    return path, block_id, node, idx
+        else:
+            for child_idx, (box, child_id) in enumerate(node.entries):
+                if box.contains_rect(rect):
+                    stack.append((child_id, path + [(block_id, node, child_idx)]))
+    return None
+
+
+def _condense_tree(
+    tree: RTree, path: list[tuple[int, Node, int]], block_id: int, node: Node
+) -> None:
+    """CondenseTree: dissolve underfull nodes, tighten boxes, reinsert."""
+    # (entries, level) pairs orphaned by eliminated nodes.
+    orphans: list[tuple[list[Entry], int]] = []
+    level = 0
+    current_id, current = block_id, node
+
+    for parent_id, parent, child_idx in reversed(path):
+        if len(current) < tree.min_fill:
+            del parent.entries[child_idx]
+            if current.entries:
+                orphans.append((list(current.entries), level))
+            tree.store.free(current_id)
+        else:
+            parent.entries[child_idx] = (current.mbr(), current_id)
+            tree.write_node(current_id, current)
+        current_id, current = parent_id, parent
+        level += 1
+
+    tree.write_node(current_id, current)
+
+    # Root collapse: an internal root with one child is replaced by it.
+    while True:
+        root = tree.store.peek(tree.root_id)
+        if root.is_leaf or len(root) != 1:
+            break
+        old_root_id = tree.root_id
+        tree.root_id = root.entries[0][1]
+        tree.store.free(old_root_id)
+        tree.height -= 1
+
+    # Reinsert orphans at their original level (leaf entries at level 0,
+    # subtree entries higher up).  Reinsertion can itself split nodes.
+    for entries, entry_level in orphans:
+        for rect, pointer in entries:
+            target = min(entry_level, tree.height - 1)
+            _insert_at_level(tree, rect, pointer, target, quadratic_split)

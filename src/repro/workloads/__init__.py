@@ -1,0 +1,15 @@
+"""Query workload generators (paper Section 3.3)."""
+
+from repro.workloads.queries import (
+    square_queries,
+    skewed_queries,
+    cluster_line_queries,
+    QueryWorkload,
+)
+
+__all__ = [
+    "square_queries",
+    "skewed_queries",
+    "cluster_line_queries",
+    "QueryWorkload",
+]

@@ -1,0 +1,120 @@
+"""Window-query workloads.
+
+The paper's query experiments all follow the same scheme: "in each of our
+experiments we performed 100 randomly generated queries and computed
+their average performance."  Three query families appear:
+
+* **square windows** covering a given percentage of the data bounding
+  box's area (0.25 %–2 % for TIGER, 1 % for the synthetic families);
+* **skew-matched windows** for SKEWED(c): "squares with area 0.01 that
+  are skewed in the same way as the dataset (that is, where the corner
+  (x, y) is transformed to (x, y^c)) so that the output size remains
+  roughly the same";
+* **cluster line queries** for CLUSTER: "long skinny horizontal queries
+  (of area 1×10⁻⁷) through the 10 000 clusters; the y-coordinate of the
+  leftmost bottom corner was chosen randomly such that the query passed
+  through all clusters."
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.geometry.rect import Rect, mbr_of
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A reproducible batch of window queries."""
+
+    name: str
+    windows: list[Rect] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __iter__(self):
+        return iter(self.windows)
+
+
+def square_queries(
+    bounds: Rect,
+    area_percent: float,
+    count: int = 100,
+    seed: int = 0,
+) -> QueryWorkload:
+    """Uniform square windows with area = ``area_percent`` % of bounds.
+
+    Window corners are placed so the whole window lies inside the bounds
+    (the paper queries inside the data extent).
+    """
+    if not 0 < area_percent <= 100:
+        raise ValueError("area_percent must be in (0, 100]")
+    rng = random.Random(seed)
+    total_area = bounds.area()
+    if total_area <= 0:
+        raise ValueError("bounds have zero area")
+    side = math.sqrt(total_area * area_percent / 100.0)
+    side = min(side, min(bounds.side(0), bounds.side(1)))
+    windows = []
+    for _ in range(count):
+        x = bounds.lo[0] + rng.random() * (bounds.side(0) - side)
+        y = bounds.lo[1] + rng.random() * (bounds.side(1) - side)
+        windows.append(Rect((x, y), (x + side, y + side)))
+    return QueryWorkload(name=f"square({area_percent}%)", windows=windows)
+
+
+def skewed_queries(
+    c: int,
+    area_percent: float = 1.0,
+    count: int = 100,
+    seed: int = 0,
+) -> QueryWorkload:
+    """Squares transformed like SKEWED(c): corner (x, y) -> (x, y^c).
+
+    Each window starts as a square of the given area in the unit square;
+    its two y-corners are then raised to the c-th power, which keeps the
+    expected output size constant across c (the paper's design).
+    """
+    rng = random.Random(seed)
+    side = math.sqrt(area_percent / 100.0)
+    windows = []
+    for _ in range(count):
+        x = rng.random() * (1 - side)
+        y = rng.random() * (1 - side)
+        windows.append(
+            Rect((x, y**c), (x + side, (y + side) ** c))
+        )
+    return QueryWorkload(name=f"skewed_square(c={c})", windows=windows)
+
+
+def cluster_line_queries(
+    clusters: int,
+    count: int = 100,
+    area: float = 1e-7,
+    cluster_extent: float = 1e-5,
+    seed: int = 0,
+) -> QueryWorkload:
+    """Thin horizontal slits through all clusters of the CLUSTER data.
+
+    The CLUSTER generator places clusters along y = 0.5 with extent
+    ``cluster_extent``; a query spans x ∈ [0, 1] with height
+    ``area / 1`` and a y-position uniform inside the clusters' band, so
+    every query "passes through all clusters".
+    """
+    rng = random.Random(seed)
+    height = area / 1.0
+    y_lo = 0.5 - cluster_extent / 2
+    y_hi = 0.5 + cluster_extent / 2 - height
+    windows = []
+    for _ in range(count):
+        y = y_lo + rng.random() * max(0.0, y_hi - y_lo)
+        windows.append(Rect((0.0, y), (1.0, y + height)))
+    return QueryWorkload(name="cluster_lines", windows=windows)
+
+
+def dataset_bounds(data) -> Rect:
+    """Bounding box of a dataset (list of (Rect, value) pairs)."""
+    return mbr_of(rect for rect, _ in data)

@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+
+
+def random_rects(n: int, seed: int = 0, dim: int = 2, max_side: float = 0.05):
+    """Deterministic random rectangles in the unit cube, with index values."""
+    rng = random.Random(seed)
+    data = []
+    for i in range(n):
+        lo = [rng.random() * (1 - max_side) for _ in range(dim)]
+        hi = [c + rng.random() * max_side for c in lo]
+        data.append((Rect(lo, hi), i))
+    return data
+
+
+def random_windows(count: int, seed: int = 0, dim: int = 2, side: float = 0.2):
+    """Deterministic random query windows in the unit cube."""
+    rng = random.Random(seed)
+    windows = []
+    for _ in range(count):
+        lo = [rng.random() * (1 - side) for _ in range(dim)]
+        windows.append(Rect(lo, [c + side for c in lo]))
+    return windows
+
+
+def assert_same_matches(got, want, context=""):
+    """Compare query results by their attached values."""
+    got_values = sorted(value for _, value in got)
+    want_values = sorted(value for _, value in want)
+    assert got_values == want_values, (
+        f"{context}: got {len(got_values)} matches, want {len(want_values)}"
+    )
+
+
+@pytest.fixture
+def store() -> BlockStore:
+    """A fresh simulated disk."""
+    return BlockStore()
+
+
+@pytest.fixture
+def small_data():
+    """300 small random rectangles (fast default dataset)."""
+    return random_rects(300, seed=7)
+
+
+@pytest.fixture
+def medium_data():
+    """2000 small random rectangles."""
+    return random_rects(2000, seed=11)

@@ -1,0 +1,45 @@
+"""Smoke tests for the runnable examples.
+
+Only the fast examples are executed directly (the comparison demos
+build many trees and belong to the benchmark tier); for the rest we
+check they at least compile.
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "built PR-tree" in out
+        assert "leaf I/Os" in out
+
+    def test_persistence(self, capsys):
+        out = run_example("persistence.py", capsys)
+        assert "fan-out derived from 4 KB blocks: 113" in out
+        assert "answers identically" in out
+
+
+class TestAllExamplesCompile:
+    @pytest.mark.parametrize(
+        "name",
+        sorted(p.name for p in EXAMPLES_DIR.glob("*.py")),
+    )
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)
+
+    def test_at_least_five_examples_exist(self):
+        assert len(list(EXAMPLES_DIR.glob("*.py"))) >= 5

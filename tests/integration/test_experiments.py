@@ -1,0 +1,125 @@
+"""Integration tests for the experiment harness (tiny-scale runs).
+
+Each figure/table function must run end-to-end and produce rows of the
+right shape; the cheap ones also get sanity assertions on their content.
+"""
+
+import pytest
+
+from repro.datasets.synthetic import size_dataset
+from repro.experiments.figures import (
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.experiments.harness import (
+    WorkloadMetrics,
+    build_variant,
+    build_variant_external,
+    measure_workload,
+)
+from repro.experiments.tables import table1, theorem3_demo
+from repro.external.memory import MemoryModel
+from repro.workloads.queries import dataset_bounds, square_queries
+
+TINY_MEM = MemoryModel(memory_records=128, block_records=8)
+
+
+class TestHarness:
+    def test_build_variant_names(self):
+        data = size_dataset(200, 0.01, seed=1)
+        for name in ("H", "H4", "PR", "TGS", "STR"):
+            tree = build_variant(name, data, 8)
+            assert len(tree) == 200
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            build_variant("R*", [], 8)
+        with pytest.raises(ValueError):
+            build_variant_external("STR", [], 8, TINY_MEM)
+
+    def test_measure_workload_metrics(self):
+        data = size_dataset(500, 0.01, seed=2)
+        tree = build_variant("PR", data, 8)
+        workload = square_queries(dataset_bounds(data), 1.0, count=10, seed=3)
+        metrics = measure_workload(tree, workload)
+        assert metrics.queries == 10
+        assert metrics.leaf_ios > 0
+        assert metrics.cost_ratio >= 1.0
+        assert 0 < metrics.visited_fraction <= 1
+
+    def test_metrics_zero_output(self):
+        m = WorkloadMetrics(queries=5, leaf_ios=10, reported=0, leaf_count=100, fanout=8)
+        assert m.cost_ratio == float("inf")
+        assert m.avg_reported == 0
+
+
+class TestFigureRunners:
+    def test_figure9_rows(self):
+        table = figure9(n_eastern=700, n_western=500, fanout=8, memory=TINY_MEM)
+        assert len(table.rows) == 8  # 2 datasets x 4 variants
+        assert all(io > 0 for io in table.column("io_blocks"))
+
+    def test_figure10_rows(self):
+        table = figure10(max_n=800, fanout=8, memory=TINY_MEM)
+        assert len(table.rows) == 20  # 5 subsets x 4 variants
+        # I/O grows with n for each variant.
+        by_variant = {}
+        for n, variant, io, _ in table.rows:
+            by_variant.setdefault(variant, []).append((n, io))
+        for series in by_variant.values():
+            ordered = sorted(series)
+            assert ordered[0][1] < ordered[-1][1]
+
+    def test_figure11_rows(self):
+        from repro.experiments.figures import ASPECT_SWEEP, SIZE_SWEEP
+
+        table = figure11(n=600, fanout=8, memory=TINY_MEM)
+        expected = 2 * (len(SIZE_SWEEP) + len(ASPECT_SWEEP))
+        assert len(table.rows) == expected
+        datasets = set(table.column("dataset"))
+        assert any(d.startswith("size") for d in datasets)
+        assert any(d.startswith("aspect") for d in datasets)
+
+    def test_figure12_rows(self):
+        table = figure12(n=800, fanout=8, queries=5, areas=[1.0, 2.0])
+        assert len(table.rows) == 8  # 2 areas x 4 variants
+        assert all(ratio >= 1.0 for ratio in table.column("cost_ratio"))
+
+    def test_figure13_rows(self):
+        table = figure13(n=800, fanout=8, queries=5, areas=[1.0])
+        assert len(table.rows) == 4
+
+    def test_figure14_rows(self):
+        table = figure14(max_n=900, fanout=8, queries=5)
+        assert len(table.rows) == 20
+
+    def test_figure15_single_panel(self):
+        table = figure15(n=600, fanout=8, queries=5, panel="skewed")
+        assert len(table.rows) == 20  # 5 skew values x 4 variants
+
+    def test_figure15_bad_panel(self):
+        with pytest.raises(ValueError):
+            figure15(panel="bogus")
+
+
+class TestTableRunners:
+    def test_table1_rows(self):
+        table = table1(n=3000, fanout=8, queries=10)
+        assert len(table.rows) == 4
+        by_variant = {row[0]: row for row in table.rows}
+        # PR visits a smaller fraction than H and H4.
+        assert by_variant["PR"][2] < by_variant["H"][2]
+        assert by_variant["PR"][2] < by_variant["H4"][2]
+
+    def test_theorem3_rows(self):
+        table = theorem3_demo(n=1024, fanout=8, queries=5)
+        by_variant = {row[0]: row for row in table.rows}
+        # Heuristics visit everything; PR stays within its bound.
+        for name in ("H", "H4", "TGS"):
+            assert by_variant[name][3] > 90.0  # visited_%
+        assert by_variant["PR"][1] <= by_variant["PR"][4]  # ios <= bound

@@ -1,0 +1,139 @@
+"""Integration tests for the external (I/O-counted) bulk loaders.
+
+The external faces must produce valid trees of the same family as the
+in-memory faces, answer queries identically to brute force, and exhibit
+the paper's bulk-loading cost ordering H = H4 < PR < TGS (Figure 9).
+"""
+
+import pytest
+
+from repro.bulk.hilbert import (
+    build_hilbert4_external,
+    build_hilbert_external,
+)
+from repro.bulk.tgs import build_tgs_external
+from repro.external.memory import MemoryModel
+from repro.external.stream import BlockStream
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.gridbuild import build_prtree_external
+from repro.rtree.query import QueryEngine, brute_force_query
+from repro.rtree.validate import utilization, validate_rtree
+
+from tests.conftest import assert_same_matches, random_rects, random_windows
+
+EXTERNAL_LOADERS = [
+    build_hilbert_external,
+    build_hilbert4_external,
+    build_prtree_external,
+    build_tgs_external,
+]
+LOADER_IDS = ["H", "H4", "PR", "TGS"]
+
+MEM = MemoryModel(memory_records=256, block_records=16)
+
+
+def load_external(loader, data, fanout=16, memory=MEM):
+    store = BlockStore()
+    stream = BlockStream.from_records(store, data, memory.block_records)
+    tree, stats = loader(store, stream, fanout, memory)
+    return tree, stats, store
+
+
+@pytest.mark.parametrize("loader", EXTERNAL_LOADERS, ids=LOADER_IDS)
+class TestExternalLoaderContract:
+    def test_valid_structure_and_size(self, loader):
+        data = random_rects(1500, seed=31)
+        tree, _, _ = load_external(loader, data)
+        validate_rtree(tree, expect_size=1500)
+
+    def test_high_utilization(self, loader):
+        data = random_rects(1500, seed=32)
+        tree, _, _ = load_external(loader, data)
+        assert utilization(tree).leaf_fill > 0.95
+
+    def test_queries_match_oracle(self, loader):
+        data = random_rects(1200, seed=33)
+        tree, _, _ = load_external(loader, data)
+        engine = QueryEngine(tree)
+        for window in random_windows(10, seed=34):
+            got, _ = engine.query(window)
+            assert_same_matches(got, brute_force_query(data, window))
+
+    def test_io_was_counted(self, loader):
+        data = random_rects(1000, seed=35)
+        _, stats, _ = load_external(loader, data)
+        assert stats.io.reads > 0 and stats.io.writes > 0
+        assert stats.cpu_seconds > 0
+
+    def test_io_scales_with_input(self, loader):
+        small = random_rects(600, seed=36)
+        big = random_rects(2400, seed=36)
+        _, small_stats, _ = load_external(loader, small)
+        _, big_stats, _ = load_external(loader, big)
+        assert big_stats.io.total > 2 * small_stats.io.total
+
+    def test_empty_input(self, loader):
+        tree, _, _ = load_external(loader, [])
+        assert len(tree) == 0
+
+    def test_temporaries_are_freed(self, loader):
+        data = random_rects(800, seed=37)
+        tree, _, store = load_external(loader, data)
+        # Live blocks = input stream + the tree's nodes (no leaked
+        # temporaries from sorting/distribution).
+        input_blocks = -(-len(data) // MEM.block_records)
+        assert len(store) == input_blocks + tree.node_count()
+
+
+class TestPaperCostOrdering:
+    def test_figure9_io_ordering(self):
+        # Figure 9: H/H4 cheapest, PR in the middle, TGS most expensive.
+        data = random_rects(3000, seed=38)
+        costs = {}
+        for loader, name in zip(EXTERNAL_LOADERS, LOADER_IDS):
+            _, stats, _ = load_external(loader, data)
+            costs[name] = stats.io.total
+        assert costs["H"] < costs["PR"] < costs["TGS"]
+        assert costs["H4"] < costs["PR"]
+        assert costs["H"] == pytest.approx(costs["H4"], rel=0.15)
+
+    def test_mostly_sequential_io(self):
+        # Section 3.3: bulk loaders do almost exclusively sequential I/O
+        # of large parts of the data.  Require a healthy sequential share
+        # for the scan-and-sort loaders.
+        data = random_rects(3000, seed=39)
+        _, stats, _ = load_external(build_hilbert_external, data)
+        assert stats.io.sequential / stats.io.total > 0.25
+
+
+class TestInternalVsExternalEquivalence:
+    def test_same_leaf_contents_family(self):
+        # The two faces need not build byte-identical trees, but both
+        # must contain exactly the same data set.
+        from repro.bulk.hilbert import build_hilbert
+
+        data = random_rects(900, seed=40)
+        internal = build_hilbert(BlockStore(), data, 16)
+        external, _, _ = load_external(build_hilbert_external, data)
+        internal_data = sorted(v for _, v in internal.all_data())
+        external_data = sorted(v for _, v in external.all_data())
+        assert internal_data == external_data
+
+    def test_hilbert_faces_identical_leaf_order(self):
+        # H sorts by a deterministic key, so the leaf-level *order* of
+        # the two faces must agree exactly.
+        from repro.bulk.hilbert import build_hilbert
+
+        data = random_rects(700, seed=41)
+        internal = build_hilbert(BlockStore(), data, 16)
+        external, _, _ = load_external(build_hilbert_external, data)
+
+        def leaf_values(tree):
+            leaves = sorted(tree.iter_leaves(), key=lambda kv: kv[0])
+            return [
+                tree.objects[oid]
+                for _, leaf in leaves
+                for _, oid in leaf.entries
+            ]
+
+        assert leaf_values(internal) == leaf_values(external)

@@ -1,0 +1,138 @@
+"""Integration tests of the paper's theoretical claims.
+
+* Lemma 2 / Theorem 1: PR-tree window queries cost
+  O(sqrt(N/B) + T/B) leaf I/Os.
+* Theorem 3: the adversarial dataset forces the packed Hilbert,
+  4D-Hilbert, and TGS trees to visit Θ(N/B) leaves with empty output
+  while the PR-tree stays within its bound.
+"""
+
+import math
+
+import pytest
+
+from repro.bulk.hilbert import build_hilbert, build_hilbert4
+from repro.bulk.tgs import build_tgs
+from repro.datasets.synthetic import cluster_dataset, skewed_dataset
+from repro.datasets.worstcase import worstcase_dataset, worstcase_query
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.prtree import build_prtree, prtree_query_bound
+from repro.rtree.query import QueryEngine
+from repro.workloads.queries import cluster_line_queries, square_queries
+
+from tests.conftest import random_rects
+
+
+class TestPRTreeQueryBound:
+    @pytest.mark.parametrize("n", [512, 2048, 8192])
+    def test_bound_on_uniform_data(self, n):
+        fanout = 8
+        data = random_rects(n, seed=50, max_side=0.02)
+        tree = build_prtree(BlockStore(), data, fanout)
+        engine = QueryEngine(tree)
+        for window in square_queries(Rect((0, 0), (1, 1)), 1.0, count=20, seed=51):
+            _, stats = engine.query(window)
+            bound = prtree_query_bound(n, fanout, stats.reported)
+            assert stats.leaf_reads <= bound
+
+    def test_bound_on_skewed_data(self):
+        n, fanout = 4096, 8
+        data = skewed_dataset(n, 9, seed=52)
+        tree = build_prtree(BlockStore(), data, fanout)
+        engine = QueryEngine(tree)
+        from repro.workloads.queries import skewed_queries
+
+        for window in skewed_queries(9, count=20, seed=53):
+            _, stats = engine.query(window)
+            assert stats.leaf_reads <= prtree_query_bound(n, fanout, stats.reported)
+
+    def test_bound_on_worstcase_data(self):
+        fanout = 8
+        data = worstcase_dataset(4096, fanout)
+        n = len(data)
+        tree = build_prtree(BlockStore(), data, fanout)
+        engine = QueryEngine(tree)
+        for seed in range(10):
+            window = worstcase_query(n, fanout, seed=seed)
+            matches, stats = engine.query(window)
+            assert matches == []
+            assert stats.leaf_reads <= prtree_query_bound(n, fanout, 0)
+
+    def test_sublinear_scaling_in_n(self):
+        # Doubling N must grow empty-query cost by ~sqrt(2), not 2:
+        # measure the adversarial query cost at two sizes.
+        fanout = 8
+        costs = {}
+        for n in (2048, 8192):
+            data = worstcase_dataset(n, fanout)
+            tree = build_prtree(BlockStore(), data, fanout)
+            engine = QueryEngine(tree)
+            total = 0
+            for seed in range(10):
+                _, stats = engine.query(worstcase_query(len(data), fanout, seed=seed))
+                total += stats.leaf_reads
+            costs[n] = total / 10
+        growth = costs[8192] / costs[2048]
+        assert growth < 3.0  # 4x data -> ~2x cost; linear would be 4x
+
+
+class TestTheorem3:
+    FANOUT = 16
+
+    def _leaf_visits(self, builder, data, window):
+        tree = builder(BlockStore(), data, self.FANOUT)
+        engine = QueryEngine(tree)
+        matches, stats = engine.query(window)
+        assert matches == []
+        return stats.leaf_reads, tree.leaf_count()
+
+    @pytest.mark.parametrize(
+        "builder", [build_hilbert, build_hilbert4, build_tgs], ids=["H", "H4", "TGS"]
+    )
+    def test_heuristics_visit_all_leaves(self, builder):
+        data = worstcase_dataset(4096, self.FANOUT)
+        window = worstcase_query(len(data), self.FANOUT, seed=1)
+        visited, leaves = self._leaf_visits(builder, data, window)
+        assert visited >= 0.9 * leaves  # Θ(N/B), paper: exactly all
+
+    def test_prtree_visits_sublinear_fraction(self):
+        data = worstcase_dataset(4096, self.FANOUT)
+        window = worstcase_query(len(data), self.FANOUT, seed=1)
+        visited, leaves = self._leaf_visits(build_prtree, data, window)
+        assert visited <= prtree_query_bound(len(data), self.FANOUT, 0)
+        assert visited < 0.25 * leaves
+
+    def test_order_of_magnitude_gap(self):
+        data = worstcase_dataset(8192, self.FANOUT)
+        window = worstcase_query(len(data), self.FANOUT, seed=2)
+        h_visits, _ = self._leaf_visits(build_hilbert, data, window)
+        pr_visits, _ = self._leaf_visits(build_prtree, data, window)
+        assert h_visits / max(pr_visits, 1) > 5.0
+
+
+class TestClusterRobustness:
+    def test_prtree_beats_heuristics_on_cluster(self):
+        # The Table 1 phenomenon at test scale: PR visits a much smaller
+        # leaf fraction than H/H4 on thin line queries through clusters.
+        n, fanout = 10_000, 16
+        clusters = 10
+        data = cluster_dataset(n, clusters=clusters, seed=54)
+        workload = cluster_line_queries(clusters, count=20, seed=55)
+        visited = {}
+        for name, builder in [
+            ("H", build_hilbert),
+            ("H4", build_hilbert4),
+            ("PR", build_prtree),
+            ("TGS", build_tgs),
+        ]:
+            tree = builder(BlockStore(), data, fanout)
+            engine = QueryEngine(tree)
+            for window in workload:
+                engine.query(window)
+            visited[name] = engine.totals.leaf_reads / (
+                engine.totals.queries * tree.leaf_count()
+            )
+        assert visited["PR"] < visited["H"] / 3
+        assert visited["PR"] < visited["H4"] / 3
+        assert visited["PR"] < visited["TGS"]

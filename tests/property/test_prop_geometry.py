@@ -1,0 +1,153 @@
+"""Property-based tests for rectangles and the Hilbert curve."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.hilbert import hilbert_index, hilbert_point
+from repro.geometry.rect import Rect, mbr_of
+
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw, dim=2):
+    lo = [draw(coords) for _ in range(dim)]
+    hi = [c + draw(st.floats(min_value=0, max_value=1e6)) for c in lo]
+    return Rect(lo, hi)
+
+
+@st.composite
+def points(draw, dim=2):
+    return tuple(draw(coords) for _ in range(dim))
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(rects())
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @given(rects(), rects(), rects())
+    def test_union_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(rects(), rects())
+    def test_intersects_iff_intersection_nonempty(self, a, b):
+        assert a.intersects(b) == (a.intersection(b) is not None)
+
+    @given(rects(), rects())
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(rects(), rects())
+    def test_intersection_inside_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter) and b.contains_rect(inter)
+
+    @given(rects())
+    def test_self_intersection_identity(self, a):
+        assert a.intersection(a) == a
+        assert a.contains_rect(a)
+
+    @given(rects(), rects())
+    def test_containment_implies_intersection(self, a, b):
+        if a.contains_rect(b):
+            assert a.intersects(b)
+
+    @given(rects(), rects())
+    def test_enlargement_nonnegative(self, a, b):
+        assert a.enlargement(b) >= -1e-6  # float slack on huge coords
+
+    @given(rects(), rects())
+    def test_union_area_at_least_max(self, a, b):
+        assert a.union(b).area() >= max(a.area(), b.area()) - 1e-6
+
+    @given(st.lists(rects(), min_size=1, max_size=12))
+    def test_mbr_of_contains_all(self, items):
+        box = mbr_of(items)
+        assert all(box.contains_rect(r) for r in items)
+
+    @given(st.lists(rects(), min_size=1, max_size=12))
+    def test_mbr_is_tight(self, items):
+        # Every face of the MBR touches at least one input rectangle.
+        box = mbr_of(items)
+        for axis in range(2):
+            assert any(r.lo[axis] == box.lo[axis] for r in items)
+            assert any(r.hi[axis] == box.hi[axis] for r in items)
+
+    @given(rects(), points())
+    def test_point_containment_consistent_with_rect(self, a, p):
+        from repro.geometry.rect import point_rect
+
+        assert a.contains_point(p) == a.contains_rect(point_rect(p))
+
+    @given(rects(dim=3), rects(dim=3))
+    def test_3d_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects())
+    def test_corner_point_roundtrip(self, a):
+        cp = a.corner_point()
+        assert Rect(cp[:2], cp[2:]) == a
+        for axis in range(4):
+            assert a.corner_coord(axis) == cp[axis]
+
+
+class TestHilbertProperties:
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=4),
+        st.data(),
+    )
+    def test_roundtrip_random_points(self, dim, order, data):
+        point = tuple(
+            data.draw(st.integers(min_value=0, max_value=(1 << order) - 1))
+            for _ in range(dim)
+        )
+        index = hilbert_index(point, order)
+        assert hilbert_point(index, dim, order) == point
+
+    @given(st.integers(min_value=0, max_value=(1 << 12) - 1))
+    def test_2d_roundtrip_from_index(self, index):
+        point = hilbert_point(index, 2, 6)
+        assert hilbert_index(point, 6) == index
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=(1 << 10) - 1))
+    def test_adjacent_indices_adjacent_cells_2d(self, index):
+        a = hilbert_point(index - 1, 2, 5)
+        b = hilbert_point(index, 2, 5)
+        assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=(1 << 12) - 1))
+    def test_adjacent_indices_adjacent_cells_4d(self, index):
+        a = hilbert_point(index - 1, 4, 3)
+        b = hilbert_point(index, 4, 3)
+        assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 8) - 1),
+        st.integers(min_value=0, max_value=(1 << 8) - 1),
+    )
+    def test_distinct_points_distinct_indices(self, a, b):
+        pa = (a % 16, a // 16)
+        pb = (b % 16, b // 16)
+        ia = hilbert_index(pa, 4)
+        ib = hilbert_index(pb, 4)
+        assert (ia == ib) == (pa == pb)

@@ -1,0 +1,66 @@
+"""Property-based round-trip tests for tree serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk.hilbert import build_hilbert
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.prtree import build_prtree
+from repro.rtree.persist import deserialize_tree, serialize_tree
+from repro.rtree.query import QueryEngine, brute_force_query
+from repro.rtree.validate import validate_rtree
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def datasets(draw, max_size=80):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    data = []
+    for i in range(n):
+        lo = [draw(unit), draw(unit)]
+        hi = [min(1.0, c + draw(st.floats(min_value=0.0, max_value=0.4))) for c in lo]
+        data.append((Rect(lo, hi), i))
+    return data
+
+
+class TestPersistProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(datasets(), st.sampled_from([build_prtree, build_hilbert]))
+    def test_roundtrip_preserves_everything(self, data, builder):
+        tree = builder(BlockStore(), data, 8)
+        image = serialize_tree(tree)
+        clone = deserialize_tree(image, BlockStore(), dict(tree.objects))
+        validate_rtree(clone, expect_size=len(data))
+        assert clone.height == tree.height
+        assert sorted(v for _, v in clone.all_data()) == sorted(
+            v for _, v in tree.all_data()
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(datasets(max_size=50), unit, unit)
+    def test_roundtrip_preserves_query_answers(self, data, x, y):
+        window = Rect((x * 0.8, y * 0.8), (x * 0.8 + 0.2, y * 0.8 + 0.2))
+        tree = build_prtree(BlockStore(), data, 8)
+        clone = deserialize_tree(
+            serialize_tree(tree), BlockStore(), dict(tree.objects)
+        )
+        got, _ = QueryEngine(clone).query(window)
+        want = brute_force_query(data, window)
+        assert sorted(v for _, v in got) == sorted(v for _, v in want)
+
+    @settings(max_examples=15, deadline=None)
+    @given(datasets(max_size=40))
+    def test_serialize_is_deterministic(self, data):
+        tree = build_prtree(BlockStore(), data, 8)
+        assert serialize_tree(tree) == serialize_tree(tree)
+
+    @settings(max_examples=10, deadline=None)
+    @given(datasets(max_size=40))
+    def test_double_roundtrip_is_stable(self, data):
+        tree = build_prtree(BlockStore(), data, 8)
+        once = deserialize_tree(serialize_tree(tree), BlockStore(), dict(tree.objects))
+        image_1 = serialize_tree(once)
+        twice = deserialize_tree(image_1, BlockStore(), dict(once.objects))
+        assert serialize_tree(twice) == image_1

@@ -1,0 +1,96 @@
+"""Property-based correctness: every index variant vs the brute-force oracle.
+
+This is the single most important test in the suite: for arbitrary
+rectangle sets and arbitrary windows, every tree variant must report
+exactly the same matches as a linear scan.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk.hilbert import build_hilbert, build_hilbert4
+from repro.bulk.str_pack import build_str
+from repro.bulk.tgs import build_tgs
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.prtree import build_prtree
+from repro.prtree.pseudo import PseudoPRTree
+from repro.rtree.query import QueryEngine, brute_force_query
+from repro.rtree.validate import validate_rtree
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def rect_datasets(draw, dim=2, max_size=60):
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    data = []
+    for i in range(n):
+        lo = [draw(unit) for _ in range(dim)]
+        hi = [min(1.0, c + draw(st.floats(min_value=0.0, max_value=0.3))) for c in lo]
+        data.append((Rect(lo, hi), i))
+    return data
+
+
+@st.composite
+def windows(draw, dim=2):
+    lo = [draw(unit) for _ in range(dim)]
+    hi = [min(1.0, c + draw(st.floats(min_value=0.0, max_value=0.6))) for c in lo]
+    return Rect(lo, hi)
+
+
+ALL_BUILDERS = [build_hilbert, build_hilbert4, build_tgs, build_str, build_prtree]
+BUILDER_IDS = ["H", "H4", "TGS", "STR", "PR"]
+
+
+class TestAllVariantsMatchOracle:
+    @settings(max_examples=30, deadline=None)
+    @given(rect_datasets(), windows(), st.integers(min_value=2, max_value=9))
+    def test_2d_window_queries(self, data, window, fanout):
+        want = brute_force_query(data, window)
+        for builder, name in zip(ALL_BUILDERS, BUILDER_IDS):
+            tree = builder(BlockStore(), data, fanout)
+            validate_rtree(tree, expect_size=len(data))
+            got, _ = QueryEngine(tree).query(window)
+            assert sorted(v for _, v in got) == sorted(
+                v for _, v in want
+            ), f"{name} disagrees with brute force"
+
+    @settings(max_examples=15, deadline=None)
+    @given(rect_datasets(dim=3, max_size=40), windows(dim=3))
+    def test_3d_window_queries(self, data, window):
+        want = brute_force_query(data, window)
+        for builder, name in zip(ALL_BUILDERS, BUILDER_IDS):
+            tree = builder(BlockStore(), data, 4)
+            got, _ = QueryEngine(tree).query(window)
+            assert sorted(v for _, v in got) == sorted(
+                v for _, v in want
+            ), f"{name} disagrees with brute force in 3D"
+
+    @settings(max_examples=20, deadline=None)
+    @given(rect_datasets(max_size=50), windows())
+    def test_pseudo_prtree_matches_oracle(self, data, window):
+        if not data:
+            return
+        tree = PseudoPRTree([(r, v) for r, v in data], capacity=4)
+        got, _ = tree.query(window)
+        want = brute_force_query(data, window)
+        assert sorted(p for _, p in got) == sorted(v for _, v in want)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rect_datasets(max_size=50))
+    def test_full_window_reports_everything(self, data):
+        window = Rect((0.0, 0.0), (1.0, 1.0))
+        for builder in ALL_BUILDERS:
+            tree = builder(BlockStore(), data, 5)
+            got, _ = QueryEngine(tree).query(window)
+            assert len(got) == len(data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rect_datasets(max_size=50))
+    def test_faraway_window_reports_nothing(self, data):
+        window = Rect((5.0, 5.0), (6.0, 6.0))
+        for builder in ALL_BUILDERS:
+            tree = builder(BlockStore(), data, 5)
+            got, _ = QueryEngine(tree).query(window)
+            assert got == []

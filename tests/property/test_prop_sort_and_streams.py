@@ -1,0 +1,84 @@
+"""Property-based tests for the external-memory substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.external.memory import MemoryModel
+from repro.external.sort import external_sort, sort_pass_bound
+from repro.external.stream import BlockStream, distribute
+from repro.iomodel.blockstore import BlockStore
+
+
+record_lists = st.lists(
+    st.integers(min_value=-(10**6), max_value=10**6), max_size=400
+)
+
+
+class TestStreamProperties:
+    @given(record_lists, st.integers(min_value=1, max_value=16))
+    def test_roundtrip_any_block_size(self, records, block_records):
+        store = BlockStore()
+        stream = BlockStream.from_records(store, records, block_records)
+        assert stream.read_all() == records
+        assert stream.block_count == -(-len(records) // block_records) if records else True
+
+    @given(record_lists, st.integers(min_value=2, max_value=5))
+    def test_distribute_partitions_exactly(self, records, buckets):
+        store = BlockStore()
+        stream = BlockStream.from_records(store, records, 7)
+        outs = distribute(stream, lambda x: abs(x) % buckets, buckets)
+        combined = [r for out in outs for r in out.read_all()]
+        assert sorted(combined) == sorted(records)
+        for i, out in enumerate(outs):
+            assert all(abs(r) % buckets == i for r in out.read_all())
+
+
+class TestSortProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        record_lists,
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=4, max_value=12),
+    )
+    def test_sort_is_correct_permutation(self, records, block_records, mem_blocks):
+        store = BlockStore()
+        memory = MemoryModel(
+            memory_records=mem_blocks * block_records * 4,
+            block_records=block_records,
+        )
+        stream = BlockStream.from_records(store, records, block_records)
+        out = external_sort(stream, key=lambda x: x, memory=memory)
+        result = out.read_all()
+        assert result == sorted(records)
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_lists)
+    def test_sort_io_within_bound(self, records):
+        store = BlockStore()
+        memory = MemoryModel(memory_records=32, block_records=4)
+        stream = BlockStream.from_records(store, records, 4)
+        before = store.counters.snapshot()
+        external_sort(stream, key=lambda x: x, memory=memory)
+        cost = (store.counters.snapshot() - before).total
+        assert cost <= sort_pass_bound(len(records), memory)
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_lists)
+    def test_sort_leaves_no_garbage(self, records):
+        store = BlockStore()
+        memory = MemoryModel(memory_records=32, block_records=4)
+        stream = BlockStream.from_records(store, records, 4)
+        live_before = len(store)
+        out = external_sort(stream, key=lambda x: x, memory=memory)
+        assert len(store) == live_before + out.block_count
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 10**6)), max_size=200))
+    def test_sort_by_first_component_keeps_pairs(self, pairs):
+        store = BlockStore()
+        memory = MemoryModel(memory_records=32, block_records=4)
+        stream = BlockStream.from_records(store, pairs, 4)
+        out = external_sort(stream, key=lambda p: p[0], memory=memory)
+        result = out.read_all()
+        assert sorted(result) == sorted(pairs)
+        assert [p[0] for p in result] == sorted(p[0] for p in pairs)

@@ -1,0 +1,83 @@
+"""Stateful property test: dynamic updates preserve index semantics.
+
+A hypothesis rule-based machine drives an RTree (Guttman updates) and a
+LogMethodPRTree through arbitrary insert/delete/query sequences and
+compares both against a plain list model.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.logmethod import LogMethodPRTree
+from repro.rtree.query import QueryEngine, brute_force_query
+from repro.rtree.rstar import rstar_insert
+from repro.rtree.tree import RTree
+from repro.rtree.update import delete, insert
+from repro.rtree.validate import validate_rtree
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def _make_rect(x, y, w, h):
+    return Rect((x, y), (min(1.0, x + w), min(1.0, y + h)))
+
+
+class DynamicIndexMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = RTree.create_empty(BlockStore(), dim=2, fanout=5)
+        self.rstar_tree = RTree.create_empty(BlockStore(), dim=2, fanout=5)
+        self.logtree = LogMethodPRTree(BlockStore(), fanout=5)
+        self.model: list[tuple[Rect, int]] = []
+        self.counter = 0
+
+    @rule(x=unit, y=unit, w=unit, h=unit)
+    def insert_rect(self, x, y, w, h):
+        rect = _make_rect(x, y, w * 0.2, h * 0.2)
+        value = self.counter
+        self.counter += 1
+        insert(self.tree, rect, value)
+        rstar_insert(self.rstar_tree, rect, value)
+        self.logtree.insert(rect, value)
+        self.model.append((rect, value))
+
+    @rule(data=st.data())
+    def delete_some_rect(self, data):
+        if not self.model:
+            return
+        idx = data.draw(st.integers(min_value=0, max_value=len(self.model) - 1))
+        rect, value = self.model.pop(idx)
+        assert delete(self.tree, rect, value)
+        assert delete(self.rstar_tree, rect, value)
+        assert self.logtree.delete(rect, value)
+
+    @rule(x=unit, y=unit, s=unit)
+    def query_window(self, x, y, s):
+        window = _make_rect(x, y, s * 0.5, s * 0.5)
+        want = sorted(v for _, v in brute_force_query(self.model, window))
+        for indexed in (self.tree, self.rstar_tree):
+            got_tree, _ = QueryEngine(indexed).query(window)
+            assert sorted(v for _, v in got_tree) == want
+        got_log = self.logtree.query(window)
+        assert sorted(v for _, v in got_log) == want
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.tree) == len(self.model)
+        assert len(self.rstar_tree) == len(self.model)
+        assert len(self.logtree) == len(self.model)
+
+    @invariant()
+    def structures_are_valid(self):
+        validate_rtree(self.tree, expect_size=len(self.model))
+        validate_rtree(self.rstar_tree, expect_size=len(self.model))
+        self.logtree.check_invariants()
+
+
+DynamicIndexMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+TestDynamicIndex = DynamicIndexMachine.TestCase

@@ -1,0 +1,72 @@
+"""Unit tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure99"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_panel_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure15", "--panel", "bogus"])
+
+
+class TestRun:
+    def test_run_theorem3_stdout(self, capsys):
+        assert main(["run", "theorem3", "--n", "256", "--fanout", "8",
+                     "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3" in out
+        assert "PR" in out
+
+    def test_run_writes_file(self, tmp_path, capsys):
+        assert main([
+            "run", "theorem3", "--n", "256", "--fanout", "8",
+            "--queries", "2", "--out", str(tmp_path),
+        ]) == 0
+        written = tmp_path / "theorem3.txt"
+        assert written.exists()
+        assert "Theorem 3" in written.read_text()
+
+    def test_run_markdown(self, tmp_path):
+        main([
+            "run", "theorem3", "--n", "256", "--fanout", "8",
+            "--queries", "2", "--out", str(tmp_path), "--markdown",
+        ])
+        text = (tmp_path / "theorem3.md").read_text()
+        assert text.startswith("**")
+        assert "|" in text
+
+    def test_run_figure15_panel(self, capsys):
+        assert main([
+            "run", "figure15", "--n", "400", "--fanout", "8",
+            "--queries", "3", "--panel", "skewed",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "skewed" in out
+
+    def test_run_figure12_small(self, capsys):
+        assert main([
+            "run", "figure12", "--n", "500", "--fanout", "8", "--queries", "3",
+        ]) == 0
+        assert "Figure 12" in capsys.readouterr().out
+
+    def test_memory_option_for_bulkload(self, capsys):
+        assert main([
+            "run", "figure9", "--fanout", "8", "--memory", "128",
+        ]) == 0
+        assert "Figure 9" in capsys.readouterr().out

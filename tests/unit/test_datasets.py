@@ -1,0 +1,236 @@
+"""Unit tests for the dataset generators (paper Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.datasets.synthetic import (
+    aspect_dataset,
+    cluster_dataset,
+    size_dataset,
+    skewed_dataset,
+    uniform_points,
+    uniform_rects,
+)
+from repro.datasets.tiger import (
+    EASTERN,
+    WESTERN,
+    TigerRegion,
+    eastern_scaling_series,
+    tiger_dataset,
+)
+from repro.datasets.worstcase import bit_reversal, worstcase_dataset, worstcase_query
+from repro.geometry.rect import Rect, mbr_of
+
+
+class TestSizeDataset:
+    def test_count_and_determinism(self):
+        a = size_dataset(100, 0.05, seed=1)
+        b = size_dataset(100, 0.05, seed=1)
+        assert len(a) == 100 and a == b
+
+    def test_inside_unit_square(self):
+        for rect, _ in size_dataset(300, 0.2, seed=2):
+            assert rect.lo[0] >= 0 and rect.lo[1] >= 0
+            assert rect.hi[0] <= 1 and rect.hi[1] <= 1
+
+    def test_side_bound(self):
+        for rect, _ in size_dataset(300, 0.05, seed=3):
+            assert rect.side(0) <= 0.05 and rect.side(1) <= 0.05
+
+    def test_larger_max_side_gives_larger_mean_area(self):
+        small = size_dataset(500, 0.01, seed=4)
+        large = size_dataset(500, 0.2, seed=4)
+        mean = lambda ds: sum(r.area() for r, _ in ds) / len(ds)
+        assert mean(large) > mean(small) * 10
+
+    def test_invalid_max_side(self):
+        with pytest.raises(ValueError):
+            size_dataset(10, 0.0)
+
+
+class TestAspectDataset:
+    def test_fixed_area_and_ratio(self):
+        for rect, _ in aspect_dataset(200, 100.0, seed=5):
+            assert rect.area() == pytest.approx(1e-6, rel=1e-6)
+            assert rect.aspect_ratio() == pytest.approx(100.0, rel=1e-6)
+
+    def test_both_orientations_present(self):
+        data = aspect_dataset(300, 10.0, seed=6)
+        horizontal = sum(1 for r, _ in data if r.side(0) > r.side(1))
+        assert 0.3 < horizontal / len(data) < 0.7
+
+    def test_inside_unit_square(self):
+        for rect, _ in aspect_dataset(200, 1e4, seed=7):
+            assert rect.lo[0] >= 0 and rect.hi[0] <= 1
+
+    def test_infeasible_aspect_raises(self):
+        with pytest.raises(ValueError):
+            aspect_dataset(10, 1e9, area=1e-2)
+
+    def test_aspect_below_one_raises(self):
+        with pytest.raises(ValueError):
+            aspect_dataset(10, 0.5)
+
+
+class TestSkewedDataset:
+    def test_points_in_unit_square(self):
+        for rect, _ in skewed_dataset(300, 5, seed=8):
+            assert rect.is_point()
+            assert 0 <= rect.lo[0] <= 1 and 0 <= rect.lo[1] <= 1
+
+    def test_skew_compresses_y(self):
+        flat = skewed_dataset(1000, 1, seed=9)
+        squeezed = skewed_dataset(1000, 9, seed=9)
+        mean_y = lambda ds: sum(r.lo[1] for r, _ in ds) / len(ds)
+        assert mean_y(squeezed) < mean_y(flat) / 2
+
+    def test_x_untouched(self):
+        c1 = skewed_dataset(100, 1, seed=10)
+        c9 = skewed_dataset(100, 9, seed=10)
+        assert [r.lo[0] for r, _ in c1] == [r.lo[0] for r, _ in c9]
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            skewed_dataset(10, 0)
+
+
+class TestClusterDataset:
+    def test_count(self):
+        data = cluster_dataset(5000, clusters=10, seed=11)
+        assert len(data) == 5000
+
+    def test_points_live_in_their_clusters(self):
+        clusters = 10
+        extent = 1e-5
+        data = cluster_dataset(1000, clusters=clusters, cluster_extent=extent, seed=12)
+        for rect, _ in data:
+            x, y = rect.lo
+            centers = [(k + 0.5) / clusters for k in range(clusters)]
+            assert any(abs(x - c) <= extent for c in centers)
+            assert abs(y - 0.5) <= extent
+
+    def test_default_cluster_count_scales(self):
+        data = cluster_dataset(20_000, seed=13)
+        xs = sorted({round(r.lo[0], 3) for r, _ in data})
+        assert len(xs) >= 10
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ValueError):
+            cluster_dataset(100, clusters=0)
+
+
+class TestUniformHelpers:
+    def test_uniform_points(self):
+        data = uniform_points(100, seed=14)
+        assert len(data) == 100 and all(r.is_point() for r, _ in data)
+
+    def test_uniform_rects(self):
+        data = uniform_rects(100, max_side=0.01, seed=15)
+        assert all(r.side(0) <= 0.01 + 1e-12 for r, _ in data)
+
+
+class TestTigerDataset:
+    def test_count_and_determinism(self):
+        a = tiger_dataset(500, "eastern", seed=16)
+        b = tiger_dataset(500, "eastern", seed=16)
+        assert len(a) == 500 and a == b
+
+    def test_small_segments(self):
+        # "relatively small rectangles (long roads are divided into short
+        # segments)"
+        data = tiger_dataset(1000, "eastern", seed=17)
+        for rect, _ in data:
+            assert rect.side(0) <= 0.01 and rect.side(1) <= 0.01
+
+    def test_clustered_but_not_too_badly(self):
+        # A sizeable fraction of the map is still covered by segments.
+        data = tiger_dataset(5000, "eastern", seed=18)
+        occupied = {
+            (int(r.center()[0] * 20), int(r.center()[1] * 20)) for r, _ in data
+        }
+        assert len(occupied) > 100  # spread over >25% of a 20x20 grid
+
+    def test_region_subsets_restrict_x(self):
+        data = tiger_dataset(1000, "eastern", regions_used=2, seed=19)
+        assert all(r.hi[0] <= 2 / 5 + 1e-9 for r, _ in data)
+
+    def test_western_differs_from_eastern(self):
+        east = tiger_dataset(500, "eastern", seed=20)
+        west = tiger_dataset(500, "western", seed=20)
+        assert east != west
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(ValueError):
+            tiger_dataset(10, "northern")
+
+    def test_invalid_regions_used(self):
+        with pytest.raises(ValueError):
+            tiger_dataset(10, regions_used=6)
+
+    def test_custom_region(self):
+        region = TigerRegion(
+            name="custom",
+            urban_centers=3,
+            urban_fraction=0.5,
+            urban_spread=0.01,
+            segment_length=0.001,
+        )
+        assert len(tiger_dataset(100, region, seed=21)) == 100
+
+    def test_scaling_series_proportions(self):
+        series = eastern_scaling_series(1000, seed=22)
+        sizes = [n for n, _ in series]
+        assert len(series) == 5
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 1000
+        assert sizes[0] == round(1000 * 2.08 / 16.72)
+
+
+class TestWorstCase:
+    def test_bit_reversal(self):
+        assert bit_reversal(0b001, 3) == 0b100
+        assert bit_reversal(0b110, 3) == 0b011
+        assert bit_reversal(0, 4) == 0
+        with pytest.raises(ValueError):
+            bit_reversal(8, 3)
+
+    def test_dataset_shape(self):
+        data = worstcase_dataset(1024, 16)
+        assert len(data) == 1024
+        xs = {r.lo[0] for r, _ in data}
+        assert len(xs) == 64  # N/B columns
+        # every column holds exactly B points
+        from collections import Counter
+
+        counts = Counter(r.lo[0] for r, _ in data)
+        assert set(counts.values()) == {16}
+
+    def test_rounding_up_to_power_of_two_columns(self):
+        data = worstcase_dataset(1000, 16)
+        assert len(data) == 1024
+
+    def test_capacity_too_small_raises(self):
+        with pytest.raises(ValueError):
+            worstcase_dataset(100, 2)
+
+    def test_query_is_empty_but_spans_all_columns(self):
+        n, b = 2048, 16
+        data = worstcase_dataset(n, b)
+        for seed in range(10):
+            window = worstcase_query(len(data), b, seed=seed)
+            hits = [r for r, _ in data if r.intersects(window)]
+            assert hits == []
+            # it spans the full x-range
+            assert window.lo[0] <= 0.5
+            assert window.hi[0] >= len(data) / b - 0.5
+
+    def test_query_intersects_every_column_bbox(self):
+        n, b = 1024, 16
+        data = worstcase_dataset(n, b)
+        window = worstcase_query(n, b, seed=3)
+        columns: dict[float, list] = {}
+        for rect, _ in data:
+            columns.setdefault(rect.lo[0], []).append(rect)
+        for column_rects in columns.values():
+            assert mbr_of(column_rects).intersects(window)

@@ -1,0 +1,23 @@
+"""Run the doctest examples embedded in module/class docstrings.
+
+These are the first snippets a new user copies; they must execute.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.geometry.rect
+import repro.prtree.logmethod
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.geometry.rect, repro.prtree.logmethod],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert result.failed == 0

@@ -1,0 +1,207 @@
+"""Unit tests for the external-memory substrate: streams and sorting."""
+
+import random
+
+import pytest
+
+from repro.external.memory import MemoryModel
+from repro.external.sort import external_sort, sort_pass_bound
+from repro.external.stream import BlockStream, StreamWriter, distribute
+from repro.iomodel.blockstore import BlockStore
+
+
+class TestMemoryModel:
+    def test_basic_properties(self):
+        mem = MemoryModel(memory_records=64, block_records=8)
+        assert mem.memory_blocks == 8
+        assert mem.merge_fanin == 7
+
+    def test_blocks_for(self):
+        mem = MemoryModel(memory_records=64, block_records=8)
+        assert mem.blocks_for(0) == 0
+        assert mem.blocks_for(1) == 1
+        assert mem.blocks_for(8) == 1
+        assert mem.blocks_for(9) == 2
+
+    def test_fits_in_memory(self):
+        mem = MemoryModel(memory_records=64, block_records=8)
+        assert mem.fits_in_memory(64)
+        assert not mem.fits_in_memory(65)
+
+    def test_too_small_memory_raises(self):
+        with pytest.raises(ValueError):
+            MemoryModel(memory_records=8, block_records=8)
+
+    def test_invalid_block_raises(self):
+        with pytest.raises(ValueError):
+            MemoryModel(memory_records=64, block_records=0)
+
+    def test_minimum_fanin_is_two(self):
+        mem = MemoryModel(memory_records=8, block_records=2)
+        assert mem.merge_fanin >= 2
+
+
+class TestBlockStream:
+    def test_roundtrip(self, store):
+        stream = BlockStream.from_records(store, list(range(25)), 8)
+        assert len(stream) == 25
+        assert stream.block_count == 4
+        assert stream.read_all() == list(range(25))
+
+    def test_iteration_order(self, store):
+        stream = BlockStream.from_records(store, ["a", "b", "c"], 2)
+        assert list(stream) == ["a", "b", "c"]
+
+    def test_empty_stream(self, store):
+        stream = BlockStream.empty(store, 8)
+        assert len(stream) == 0 and stream.read_all() == []
+
+    def test_read_costs_one_io_per_block(self, store):
+        stream = BlockStream.from_records(store, list(range(16)), 4)
+        before = store.counters.reads
+        stream.read_all()
+        assert store.counters.reads - before == 4
+
+    def test_write_costs_one_io_per_block(self, store):
+        before = store.counters.writes
+        BlockStream.from_records(store, list(range(17)), 4)
+        assert store.counters.writes - before == 5  # 4 full + 1 partial
+
+    def test_stream_blocks_are_sequential(self, store):
+        stream = BlockStream.from_records(store, list(range(32)), 4)
+        assert stream.block_ids == sorted(stream.block_ids)
+        store.counters.reset()
+        stream.read_all()
+        # After the first (positioning) read, all reads are sequential.
+        assert store.counters.seq_reads == stream.block_count - 1
+
+    def test_free_releases_blocks(self, store):
+        stream = BlockStream.from_records(store, list(range(10)), 4)
+        live_before = len(store)
+        stream.free()
+        assert len(store) == live_before - 3
+        assert len(stream) == 0
+
+    def test_writer_finish_twice_raises(self, store):
+        writer = StreamWriter(store, 4)
+        writer.append(1)
+        writer.finish()
+        with pytest.raises(RuntimeError):
+            writer.finish()
+
+    def test_writer_append_after_finish_raises(self, store):
+        writer = StreamWriter(store, 4)
+        writer.finish()
+        with pytest.raises(RuntimeError):
+            writer.append(1)
+
+    def test_writer_extend(self, store):
+        writer = StreamWriter(store, 4)
+        writer.extend(range(10))
+        assert writer.finish().read_all() == list(range(10))
+
+    def test_invalid_block_records(self, store):
+        with pytest.raises(ValueError):
+            StreamWriter(store, 0)
+
+
+class TestDistribute:
+    def test_partition_by_parity(self, store):
+        stream = BlockStream.from_records(store, list(range(20)), 4)
+        buckets = distribute(stream, lambda x: x % 2, 2)
+        assert buckets[0].read_all() == [x for x in range(20) if x % 2 == 0]
+        assert buckets[1].read_all() == [x for x in range(20) if x % 2 == 1]
+
+    def test_preserves_relative_order(self, store):
+        stream = BlockStream.from_records(store, [3, 1, 4, 1, 5, 9, 2, 6], 3)
+        buckets = distribute(stream, lambda x: 0 if x < 4 else 1, 2)
+        assert buckets[0].read_all() == [3, 1, 1, 2]
+        assert buckets[1].read_all() == [4, 5, 9, 6]
+
+    def test_free_input_option(self, store):
+        stream = BlockStream.from_records(store, list(range(8)), 4)
+        distribute(stream, lambda x: 0, 1, free_input=True)
+        assert len(stream) == 0
+
+    def test_bad_classifier_raises(self, store):
+        stream = BlockStream.from_records(store, [1], 4)
+        with pytest.raises(ValueError):
+            distribute(stream, lambda x: 5, 2)
+
+
+class TestExternalSort:
+    MEM = MemoryModel(memory_records=32, block_records=4)
+
+    def test_sorts_random_data(self, store):
+        rng = random.Random(3)
+        data = [rng.randrange(1000) for _ in range(500)]
+        stream = BlockStream.from_records(store, data, 4)
+        out = external_sort(stream, key=lambda x: x, memory=self.MEM)
+        assert out.read_all() == sorted(data)
+
+    def test_sort_already_sorted(self, store):
+        data = list(range(100))
+        stream = BlockStream.from_records(store, data, 4)
+        out = external_sort(stream, key=lambda x: x, memory=self.MEM)
+        assert out.read_all() == data
+
+    def test_sort_reverse(self, store):
+        data = list(range(100, 0, -1))
+        stream = BlockStream.from_records(store, data, 4)
+        out = external_sort(stream, key=lambda x: x, memory=self.MEM)
+        assert out.read_all() == sorted(data)
+
+    def test_sort_with_duplicates_is_stable_multiset(self, store):
+        rng = random.Random(5)
+        data = [rng.randrange(5) for _ in range(200)]
+        stream = BlockStream.from_records(store, data, 4)
+        out = external_sort(stream, key=lambda x: x, memory=self.MEM)
+        assert out.read_all() == sorted(data)
+
+    def test_sort_by_key_function(self, store):
+        data = [("b", 2), ("a", 9), ("c", 1)]
+        stream = BlockStream.from_records(store, data, 2)
+        out = external_sort(stream, key=lambda item: item[1], memory=self.MEM)
+        assert out.read_all() == [("c", 1), ("b", 2), ("a", 9)]
+
+    def test_unorderable_records_sort_by_key(self, store):
+        # Records themselves aren't comparable; only the key is.
+        data = [{"k": v} for v in [5, 1, 3]]
+        stream = BlockStream.from_records(store, data, 2)
+        out = external_sort(stream, key=lambda item: item["k"], memory=self.MEM)
+        assert [r["k"] for r in out.read_all()] == [1, 3, 5]
+
+    def test_empty_input(self, store):
+        stream = BlockStream.empty(store, 4)
+        out = external_sort(stream, key=lambda x: x, memory=self.MEM)
+        assert out.read_all() == []
+
+    def test_single_run_case(self, store):
+        data = [3, 1, 2]
+        stream = BlockStream.from_records(store, data, 4)
+        out = external_sort(stream, key=lambda x: x, memory=self.MEM)
+        assert out.read_all() == [1, 2, 3]
+
+    def test_free_input(self, store):
+        stream = BlockStream.from_records(store, [2, 1], 4)
+        external_sort(stream, key=lambda x: x, memory=self.MEM, free_input=True)
+        assert len(stream) == 0
+
+    def test_io_within_sort_bound(self, store):
+        rng = random.Random(9)
+        n = 700
+        data = [rng.random() for _ in range(n)]
+        stream = BlockStream.from_records(store, data, 4)
+        before = store.counters.snapshot()
+        external_sort(stream, key=lambda x: x, memory=self.MEM)
+        cost = (store.counters.snapshot() - before).total
+        assert cost <= sort_pass_bound(n, self.MEM)
+
+    def test_intermediate_runs_are_freed(self, store):
+        rng = random.Random(11)
+        data = [rng.random() for _ in range(300)]
+        stream = BlockStream.from_records(store, data, 4)
+        live_before = len(store)
+        out = external_sort(stream, key=lambda x: x, memory=self.MEM)
+        # Only the output stream's blocks remain beyond the input.
+        assert len(store) == live_before + out.block_count

@@ -1,0 +1,121 @@
+"""Unit tests for the d-dimensional Hilbert curve."""
+
+import pytest
+
+from repro.geometry.hilbert import (
+    hilbert_index,
+    hilbert_point,
+    hilbert_key_for_center,
+    hilbert_key_for_corners,
+)
+from repro.geometry.rect import Rect, point_rect
+
+
+class TestIntegerCurve:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_bijection_small_grids(self, dim, order):
+        n = 1 << (dim * order)
+        seen = set()
+        for index in range(n):
+            point = hilbert_point(index, dim, order)
+            assert hilbert_index(point, order) == index
+            seen.add(point)
+        assert len(seen) == n
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_consecutive_indices_are_grid_neighbours(self, dim, order):
+        # The defining Hilbert property: the curve moves one grid step at
+        # a time.
+        prev = hilbert_point(0, dim, order)
+        for index in range(1, 1 << (dim * order)):
+            cur = hilbert_point(index, dim, order)
+            l1 = sum(abs(a - b) for a, b in zip(prev, cur))
+            assert l1 == 1, f"jump at index {index}: {prev} -> {cur}"
+            prev = cur
+
+    def test_2d_order1_visits_all_quadrants(self):
+        points = {hilbert_point(i, 2, 1) for i in range(4)}
+        assert points == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_curve_starts_at_origin(self):
+        for dim in (1, 2, 3, 4):
+            assert hilbert_point(0, dim, 4) == (0,) * dim
+
+    def test_coordinate_out_of_grid_raises(self):
+        with pytest.raises(ValueError):
+            hilbert_index((4, 0), order=2)
+
+    def test_negative_coordinate_raises(self):
+        with pytest.raises(ValueError):
+            hilbert_index((-1, 0), order=2)
+
+    def test_index_out_of_curve_raises(self):
+        with pytest.raises(ValueError):
+            hilbert_point(16, 2, 2)
+
+    def test_order_zero_raises(self):
+        with pytest.raises(ValueError):
+            hilbert_index((0, 0), order=0)
+
+    def test_large_order_roundtrip(self):
+        point = (123456, 654321)
+        assert hilbert_point(hilbert_index(point, 20), 2, 20) == point
+
+
+class TestRectangleKeys:
+    BOUNDS = Rect((0.0, 0.0), (1.0, 1.0))
+
+    def test_center_key_locality(self):
+        # Nearby centers should have closer keys than far-apart centers,
+        # on average; check a specific monotone-adjacent example.
+        a = hilbert_key_for_center(point_rect((0.1, 0.1)), self.BOUNDS)
+        b = hilbert_key_for_center(point_rect((0.100001, 0.1)), self.BOUNDS)
+        c = hilbert_key_for_center(point_rect((0.9, 0.9)), self.BOUNDS)
+        assert abs(a - b) < abs(a - c)
+
+    def test_center_key_deterministic(self):
+        r = Rect((0.2, 0.3), (0.4, 0.5))
+        assert hilbert_key_for_center(r, self.BOUNDS) == hilbert_key_for_center(
+            r, self.BOUNDS
+        )
+
+    def test_corner_key_distinguishes_extent(self):
+        # Same center, different extent: the center key collides, the
+        # corner key does not — the H vs H4 distinction.
+        small = Rect((0.45, 0.45), (0.55, 0.55))
+        large = Rect((0.25, 0.25), (0.75, 0.75))
+        assert hilbert_key_for_center(
+            small, self.BOUNDS
+        ) == hilbert_key_for_center(large, self.BOUNDS)
+        assert hilbert_key_for_corners(
+            small, self.BOUNDS
+        ) != hilbert_key_for_corners(large, self.BOUNDS)
+
+    def test_keys_clamp_outside_bounds(self):
+        outside = Rect((-5.0, -5.0), (-4.0, -4.0))
+        key = hilbert_key_for_center(outside, self.BOUNDS)
+        assert key == hilbert_key_for_center(point_rect((0.0, 0.0)), self.BOUNDS)
+
+    def test_uniform_scaling_of_flat_bounds(self):
+        # A wide flat dataset must be quantized at one scale: points with
+        # the same x but different y (within the flat extent) fall in the
+        # same or adjacent cells rather than being stretched over the
+        # full grid (the Theorem 3 prerequisite).
+        flat = Rect((0.0, 0.0), (1000.0, 1.0))
+        low = hilbert_key_for_center(point_rect((500.0, 0.0)), flat)
+        high = hilbert_key_for_center(point_rect((500.0, 1.0)), flat)
+        far = hilbert_key_for_center(point_rect((900.0, 0.0)), flat)
+        assert abs(low - high) < abs(low - far)
+
+    def test_degenerate_bounds_axis(self):
+        line_bounds = Rect((0.0, 0.5), (1.0, 0.5))
+        key = hilbert_key_for_center(point_rect((0.3, 0.5)), line_bounds)
+        assert key >= 0
+
+    def test_corner_key_order_parameter(self):
+        r = Rect((0.2, 0.3), (0.4, 0.5))
+        k8 = hilbert_key_for_corners(r, self.BOUNDS, order=8)
+        k16 = hilbert_key_for_corners(r, self.BOUNDS, order=16)
+        assert k8 < (1 << 32) and k16 < (1 << 64)

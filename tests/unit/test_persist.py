@@ -1,0 +1,95 @@
+"""Unit tests for whole-tree byte serialization."""
+
+import pytest
+
+from repro.bulk.hilbert import build_hilbert
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.prtree import build_prtree
+from repro.rtree.persist import PersistError, deserialize_tree, serialize_tree
+from repro.rtree.query import QueryEngine, brute_force_query
+from repro.rtree.validate import validate_rtree
+
+from tests.conftest import assert_same_matches, random_rects, random_windows
+
+
+class TestRoundTrip:
+    def test_prtree_roundtrip(self):
+        data = random_rects(500, seed=1)
+        tree = build_prtree(BlockStore(), data, 16)
+        image = serialize_tree(tree)
+        values = dict(tree.objects)
+        clone = deserialize_tree(image, BlockStore(), values)
+        validate_rtree(clone, expect_size=500)
+        assert clone.height == tree.height
+        assert clone.fanout == tree.fanout
+        engine = QueryEngine(clone)
+        for window in random_windows(10, seed=2):
+            got, _ = engine.query(window)
+            assert_same_matches(got, brute_force_query(data, window))
+
+    def test_single_leaf_roundtrip(self):
+        data = random_rects(5, seed=3)
+        tree = build_prtree(BlockStore(), data, 16)
+        clone = deserialize_tree(serialize_tree(tree), BlockStore(), dict(tree.objects))
+        validate_rtree(clone, expect_size=5)
+
+    def test_values_via_callable(self):
+        data = [(Rect((0, 0), (1, 1)), "x")]
+        tree = build_hilbert(BlockStore(), data, 8)
+        clone = deserialize_tree(
+            serialize_tree(tree), BlockStore(), lambda oid: f"value-{oid}"
+        )
+        assert list(clone.all_data())[0][1] == "value-0"
+
+    def test_missing_values_become_none(self):
+        data = random_rects(10, seed=4)
+        tree = build_hilbert(BlockStore(), data, 8)
+        clone = deserialize_tree(serialize_tree(tree), BlockStore())
+        assert all(value is None for _, value in clone.all_data())
+
+    def test_image_is_block_aligned(self):
+        data = random_rects(100, seed=5)
+        tree = build_hilbert(BlockStore(), data, 16)
+        from repro.rtree.persist import _SUPERBLOCK_BYTES
+
+        image = serialize_tree(tree, block_size=4096)
+        assert (len(image) - _SUPERBLOCK_BYTES) % 4096 == 0
+
+    def test_oid_counter_restored(self):
+        data = random_rects(20, seed=6)
+        tree = build_hilbert(BlockStore(), data, 8)
+        clone = deserialize_tree(serialize_tree(tree), BlockStore(), dict(tree.objects))
+        # New registrations must not collide with existing ids.
+        new_oid = clone.register_object("fresh")
+        assert new_oid not in set(range(20))
+
+    def test_3d_roundtrip(self):
+        data = random_rects(100, seed=7, dim=3)
+        tree = build_prtree(BlockStore(), data, 8)
+        clone = deserialize_tree(serialize_tree(tree), BlockStore(), dict(tree.objects))
+        validate_rtree(clone, expect_size=100)
+
+
+class TestErrors:
+    def _tree(self):
+        return build_hilbert(BlockStore(), random_rects(50, seed=8), 8)
+
+    def test_fanout_exceeding_block_raises(self):
+        data = random_rects(300, seed=9)
+        tree = build_hilbert(BlockStore(), data, 200)  # 200 > 113
+        with pytest.raises(PersistError):
+            serialize_tree(tree, block_size=4096)
+
+    def test_truncated_image(self):
+        image = serialize_tree(self._tree())
+        with pytest.raises(PersistError):
+            deserialize_tree(image[:10], BlockStore())
+        with pytest.raises(PersistError):
+            deserialize_tree(image[:-100], BlockStore())
+
+    def test_bad_magic(self):
+        image = bytearray(serialize_tree(self._tree()))
+        image[:4] = b"XXXX"
+        with pytest.raises(PersistError):
+            deserialize_tree(bytes(image), BlockStore())

@@ -1,0 +1,221 @@
+"""Unit tests for the d-dimensional rectangle primitive."""
+
+import math
+
+import pytest
+
+from repro.geometry.rect import Rect, mbr_of, point_rect
+
+
+class TestConstruction:
+    def test_basic_2d(self):
+        r = Rect((0.0, 1.0), (2.0, 3.0))
+        assert r.lo == (0.0, 1.0)
+        assert r.hi == (2.0, 3.0)
+        assert r.dim == 2
+
+    def test_coordinates_coerced_to_float(self):
+        r = Rect((0, 1), (2, 3))
+        assert all(isinstance(c, float) for c in r.lo + r.hi)
+
+    def test_degenerate_point_allowed(self):
+        r = Rect((1.0, 1.0), (1.0, 1.0))
+        assert r.is_point()
+        assert r.area() == 0.0
+
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            Rect((2.0, 0.0), (1.0, 5.0))
+
+    def test_mismatched_dims_raise(self):
+        with pytest.raises(ValueError):
+            Rect((0.0,), (1.0, 1.0))
+
+    def test_zero_dimensional_raises(self):
+        with pytest.raises(ValueError):
+            Rect((), ())
+
+    def test_immutability(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        with pytest.raises(AttributeError):
+            r.lo = (5.0, 5.0)
+
+    def test_1d_and_3d(self):
+        assert Rect((0.0,), (2.0,)).dim == 1
+        assert Rect((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)).dim == 3
+
+
+class TestAccessors:
+    def test_paper_notation_properties(self):
+        r = Rect((1.0, 2.0), (3.0, 5.0))
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (1.0, 2.0, 3.0, 5.0)
+
+    def test_side_lengths(self):
+        r = Rect((1.0, 2.0), (3.0, 5.0))
+        assert r.side(0) == 2.0
+        assert r.side(1) == 3.0
+
+    def test_center(self):
+        assert Rect((0.0, 0.0), (2.0, 4.0)).center() == (1.0, 2.0)
+
+    def test_area_2d(self):
+        assert Rect((0.0, 0.0), (2.0, 4.0)).area() == 8.0
+
+    def test_area_3d_volume(self):
+        assert Rect((0.0, 0.0, 0.0), (2.0, 3.0, 4.0)).area() == 24.0
+
+    def test_margin(self):
+        assert Rect((0.0, 0.0), (2.0, 4.0)).margin() == 6.0
+
+    def test_aspect_ratio(self):
+        assert Rect((0.0, 0.0), (10.0, 1.0)).aspect_ratio() == 10.0
+        assert Rect((0.0, 0.0), (1.0, 1.0)).aspect_ratio() == 1.0
+
+    def test_aspect_ratio_degenerate(self):
+        assert Rect((0.0, 0.0), (1.0, 0.0)).aspect_ratio() == math.inf
+        assert point_rect((1.0, 1.0)).aspect_ratio() == 1.0
+
+
+class TestPredicates:
+    def test_overlapping_intersect(self):
+        a = Rect((0.0, 0.0), (2.0, 2.0))
+        b = Rect((1.0, 1.0), (3.0, 3.0))
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_disjoint_do_not_intersect(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((2.0, 2.0), (3.0, 3.0))
+        assert not a.intersects(b)
+
+    def test_boundary_contact_counts_as_intersection(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((1.0, 0.0), (2.0, 1.0))
+        assert a.intersects(b)
+
+    def test_corner_contact_counts(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((1.0, 1.0), (2.0, 2.0))
+        assert a.intersects(b)
+
+    def test_containment_intersects(self):
+        outer = Rect((0.0, 0.0), (10.0, 10.0))
+        inner = Rect((4.0, 4.0), (5.0, 5.0))
+        assert outer.intersects(inner) and inner.intersects(outer)
+
+    def test_disjoint_on_one_axis_only(self):
+        a = Rect((0.0, 0.0), (1.0, 10.0))
+        b = Rect((2.0, 0.0), (3.0, 10.0))
+        assert not a.intersects(b)
+
+    def test_contains_rect(self):
+        outer = Rect((0.0, 0.0), (10.0, 10.0))
+        assert outer.contains_rect(Rect((1.0, 1.0), (2.0, 2.0)))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect((9.0, 9.0), (11.0, 11.0)))
+
+    def test_contains_point(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert r.contains_point((0.5, 0.5))
+        assert r.contains_point((0.0, 1.0))  # boundary
+        assert not r.contains_point((1.5, 0.5))
+
+
+class TestConstructive:
+    def test_union_covers_both(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((2.0, -1.0), (3.0, 0.5))
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+        assert u == Rect((0.0, -1.0), (3.0, 1.0))
+
+    def test_union_commutative(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((2.0, 2.0), (3.0, 3.0))
+        assert a.union(b) == b.union(a)
+
+    def test_intersection_of_overlapping(self):
+        a = Rect((0.0, 0.0), (2.0, 2.0))
+        b = Rect((1.0, 1.0), (3.0, 3.0))
+        assert a.intersection(b) == Rect((1.0, 1.0), (2.0, 2.0))
+
+    def test_intersection_of_disjoint_is_none(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((5.0, 5.0), (6.0, 6.0))
+        assert a.intersection(b) is None
+
+    def test_intersection_boundary_is_degenerate(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((1.0, 0.0), (2.0, 1.0))
+        edge = a.intersection(b)
+        assert edge is not None and edge.area() == 0.0
+
+    def test_enlargement_guttman(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        assert a.enlargement(Rect((0.2, 0.2), (0.8, 0.8))) == 0.0
+        assert a.enlargement(Rect((0.0, 0.0), (2.0, 1.0))) == pytest.approx(1.0)
+
+    def test_translated(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0)).translated((5.0, -1.0))
+        assert r == Rect((5.0, -1.0), (6.0, 0.0))
+
+    def test_scaled(self):
+        r = Rect((1.0, 1.0), (2.0, 2.0)).scaled(2.0)
+        assert r == Rect((2.0, 2.0), (4.0, 4.0))
+        with pytest.raises(ValueError):
+            r.scaled(0.0)
+
+
+class TestCornerMapping:
+    def test_corner_point_2d_is_paper_mapping(self):
+        r = Rect((1.0, 2.0), (3.0, 4.0))
+        assert r.corner_point() == (1.0, 2.0, 3.0, 4.0)
+
+    def test_corner_point_3d(self):
+        r = Rect((1.0, 2.0, 3.0), (4.0, 5.0, 6.0))
+        assert r.corner_point() == (1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+
+    def test_corner_coord_min_axes(self):
+        r = Rect((1.0, 2.0), (3.0, 4.0))
+        assert r.corner_coord(0) == 1.0
+        assert r.corner_coord(1) == 2.0
+
+    def test_corner_coord_max_axes(self):
+        r = Rect((1.0, 2.0), (3.0, 4.0))
+        assert r.corner_coord(2) == 3.0
+        assert r.corner_coord(3) == 4.0
+
+
+class TestHelpers:
+    def test_point_rect(self):
+        r = point_rect((1.5, 2.5))
+        assert r.is_point() and r.lo == (1.5, 2.5)
+
+    def test_mbr_of_single(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert mbr_of([r]) == r
+
+    def test_mbr_of_many(self):
+        rects = [
+            Rect((0.0, 5.0), (1.0, 6.0)),
+            Rect((-2.0, 0.0), (0.5, 1.0)),
+            Rect((3.0, 2.0), (4.0, 3.0)),
+        ]
+        assert mbr_of(rects) == Rect((-2.0, 0.0), (4.0, 6.0))
+
+    def test_mbr_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            mbr_of([])
+
+    def test_equality_and_hash(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((0, 0), (1, 1))
+        assert a == b and hash(a) == hash(b)
+        assert a != Rect((0.0, 0.0), (1.0, 2.0))
+
+    def test_unpacking(self):
+        lo, hi = Rect((1.0, 2.0), (3.0, 4.0))
+        assert lo == (1.0, 2.0) and hi == (3.0, 4.0)
+
+    def test_repr_roundtrip_shape(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert "Rect" in repr(r)

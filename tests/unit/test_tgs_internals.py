@@ -1,0 +1,121 @@
+"""Unit tests for TGS internals shared by the in-memory and external faces."""
+
+import pytest
+
+from repro.bulk.tgs import (
+    _binary_split_ext,
+    _binary_split_mem,
+    _order_key,
+    _partition_mem,
+    _scan_units_and_keys,
+    _sorted_orderings,
+    _unit_mbrs,
+)
+from repro.external.memory import MemoryModel
+from repro.external.sort import external_sort
+from repro.external.stream import BlockStream
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+
+from tests.conftest import random_rects
+
+MEM = MemoryModel(memory_records=64, block_records=8)
+
+
+def make_items(n, seed=0):
+    return [(r, v) for r, v in random_rects(n, seed=seed)]
+
+
+class TestOrderingHelpers:
+    def test_order_key_uses_corner_coord(self):
+        r = Rect((1.0, 2.0), (3.0, 4.0))
+        assert _order_key(0)((r, 9)) == (1.0, 9)
+        assert _order_key(3)((r, 9)) == (4.0, 9)
+
+    def test_sorted_orderings_are_sorted(self):
+        items = make_items(50, seed=1)
+        orderings = _sorted_orderings(items, dim=2)
+        assert len(orderings) == 4
+        for o, lst in enumerate(orderings):
+            keys = [_order_key(o)(item) for item in lst]
+            assert keys == sorted(keys)
+
+    def test_unit_mbrs_cover_chunks(self):
+        items = make_items(20, seed=2)
+        boxes = _unit_mbrs(items, unit=6)
+        assert len(boxes) == 4  # 6+6+6+2
+        for i, box in enumerate(boxes):
+            for rect, _ in items[i * 6 : (i + 1) * 6]:
+                assert box.contains_rect(rect)
+
+
+class TestBinarySplitMem:
+    def test_split_at_unit_boundary(self):
+        items = make_items(40, seed=3)
+        orderings = _sorted_orderings(items, dim=2)
+        left, right = _binary_split_mem(orderings, unit=10)
+        assert len(left[0]) % 10 == 0
+        assert len(left[0]) + len(right[0]) == 40
+
+    def test_split_preserves_orderings(self):
+        items = make_items(60, seed=4)
+        orderings = _sorted_orderings(items, dim=2)
+        left, right = _binary_split_mem(orderings, unit=15)
+        for side in (left, right):
+            for o, lst in enumerate(side):
+                keys = [_order_key(o)(item) for item in lst]
+                assert keys == sorted(keys)
+
+    def test_partition_group_sizes(self):
+        items = make_items(100, seed=5)
+        orderings = _sorted_orderings(items, dim=2)
+        groups = _partition_mem(orderings, unit=16)
+        sizes = [len(g[0]) for g in groups]
+        assert sum(sizes) == 100
+        assert all(size <= 16 for size in sizes)
+        # Rounding to unit multiples: at most one non-full group.
+        assert sum(1 for size in sizes if size < 16) <= 1
+
+
+class TestExternalFaceInternals:
+    def _streams(self, items):
+        store = BlockStore()
+        base = BlockStream.from_records(store, items, 8)
+        streams = [
+            external_sort(base, key=_order_key(o), memory=MEM) for o in range(4)
+        ]
+        base.free()
+        return streams
+
+    def test_scan_units_matches_memory_version(self):
+        items = make_items(50, seed=6)
+        streams = self._streams(items)
+        for o in range(4):
+            ordered = sorted(items, key=_order_key(o))
+            expected = _unit_mbrs(ordered, unit=12)
+            boxes, boundaries = _scan_units_and_keys(streams[o], unit=12, ordering=o)
+            assert boxes == expected
+            # Boundary keys are the keys of the last item in each chunk.
+            for i, key in enumerate(boundaries):
+                chunk = ordered[i * 12 : (i + 1) * 12]
+                assert key == _order_key(o)(chunk[-1])
+
+    def test_external_split_agrees_with_memory_split(self):
+        items = make_items(48, seed=7)
+        # Memory face.
+        left_mem, _ = _binary_split_mem(_sorted_orderings(items, dim=2), unit=12)
+        left_ids_mem = {p for _, p in left_mem[0]}
+        # External face on identical data.
+        streams = self._streams(items)
+        left_ext, right_ext = _binary_split_ext(streams, unit=12)
+        left_ids_ext = {p for _, p in left_ext[0].read_all()}
+        assert left_ids_ext == left_ids_mem
+        assert len(left_ids_ext) + len(right_ext[0]) == 48
+
+    def test_external_split_consumes_inputs(self):
+        items = make_items(40, seed=8)
+        streams = self._streams(items)
+        store = streams[0].store
+        left, right = _binary_split_ext(streams, unit=10)
+        expected_blocks = sum(s.block_count for s in left + right)
+        assert len(store) == expected_blocks

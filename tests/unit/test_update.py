@@ -1,0 +1,158 @@
+"""Unit tests for dynamic insert/delete (Guttman updates)."""
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.rtree.query import QueryEngine, brute_force_query
+from repro.rtree.split import linear_split
+from repro.rtree.tree import RTree
+from repro.rtree.update import delete, insert
+from repro.rtree.validate import validate_rtree
+
+from tests.conftest import assert_same_matches, random_rects, random_windows
+
+
+def grow_tree(store, data, fanout=8, splitter=None):
+    tree = RTree.create_empty(store, dim=2, fanout=fanout)
+    for rect, value in data:
+        if splitter is None:
+            insert(tree, rect, value)
+        else:
+            insert(tree, rect, value, splitter=splitter)
+    return tree
+
+
+class TestInsert:
+    def test_single_insert(self, store):
+        tree = RTree.create_empty(store, fanout=8)
+        oid = insert(tree, Rect((0, 0), (1, 1)), "a")
+        assert len(tree) == 1 and tree.objects[oid] == "a"
+
+    def test_insert_returns_distinct_oids(self, store):
+        tree = RTree.create_empty(store, fanout=8)
+        oids = [insert(tree, Rect((i, i), (i + 1, i + 1)), i) for i in range(5)]
+        assert len(set(oids)) == 5
+
+    def test_root_split_grows_height(self, store):
+        tree = RTree.create_empty(store, fanout=4)
+        for i in range(5):
+            insert(tree, Rect((i, 0), (i + 1, 1)), i)
+        assert tree.height == 2
+
+    def test_wrong_dim_raises(self, store):
+        tree = RTree.create_empty(store, dim=2, fanout=8)
+        with pytest.raises(ValueError):
+            insert(tree, Rect((0,), (1,)), "x")
+
+    def test_structure_valid_after_many_inserts(self, store):
+        data = random_rects(400, seed=3)
+        tree = grow_tree(store, data)
+        validate_rtree(tree, expect_size=400, min_node_fill=tree.min_fill)
+
+    def test_linear_splitter_variant(self, store):
+        data = random_rects(300, seed=4)
+        tree = grow_tree(store, data, splitter=linear_split)
+        validate_rtree(tree, expect_size=300, min_node_fill=tree.min_fill)
+
+    def test_queries_correct_after_inserts(self, store):
+        data = random_rects(350, seed=5)
+        tree = grow_tree(store, data)
+        engine = QueryEngine(tree)
+        for window in random_windows(20, seed=6):
+            got, _ = engine.query(window)
+            assert_same_matches(got, brute_force_query(data, window))
+
+    def test_duplicate_rectangles_coexist(self, store):
+        tree = RTree.create_empty(store, fanout=4)
+        r = Rect((0, 0), (1, 1))
+        for i in range(10):
+            insert(tree, r, i)
+        assert tree.count_query(r) == 10
+
+    def test_insert_costs_ios(self, store):
+        tree = RTree.create_empty(store, fanout=8)
+        before = store.counters.total
+        insert(tree, Rect((0, 0), (1, 1)), "a")
+        assert store.counters.total > before
+
+
+class TestDelete:
+    def test_delete_existing(self, store):
+        tree = RTree.create_empty(store, fanout=8)
+        r = Rect((0, 0), (1, 1))
+        insert(tree, r, "a")
+        assert delete(tree, r, "a")
+        assert len(tree) == 0
+        assert tree.query(r) == []
+
+    def test_delete_missing_returns_false(self, store):
+        tree = RTree.create_empty(store, fanout=8)
+        insert(tree, Rect((0, 0), (1, 1)), "a")
+        assert not delete(tree, Rect((0, 0), (1, 1)), "b")
+        assert not delete(tree, Rect((5, 5), (6, 6)), "a")
+        assert len(tree) == 1
+
+    def test_delete_from_empty_tree(self, store):
+        tree = RTree.create_empty(store, fanout=8)
+        assert not delete(tree, Rect((0, 0), (1, 1)), "a")
+
+    def test_delete_only_one_of_duplicates(self, store):
+        tree = RTree.create_empty(store, fanout=8)
+        r = Rect((0, 0), (1, 1))
+        insert(tree, r, "same")
+        insert(tree, r, "same")
+        assert delete(tree, r, "same")
+        assert len(tree) == 1
+
+    def test_root_collapses_after_mass_delete(self, store):
+        data = random_rects(200, seed=8)
+        tree = grow_tree(store, data, fanout=6)
+        tall = tree.height
+        for rect, value in data[:195]:
+            assert delete(tree, rect, value)
+        assert tree.height < tall
+        validate_rtree(tree, expect_size=5)
+
+    def test_delete_everything(self, store):
+        data = random_rects(120, seed=9)
+        tree = grow_tree(store, data, fanout=5)
+        rng = random.Random(0)
+        shuffled = data[:]
+        rng.shuffle(shuffled)
+        for rect, value in shuffled:
+            assert delete(tree, rect, value)
+        assert len(tree) == 0 and tree.height == 1
+
+    def test_structure_valid_during_interleaved_ops(self, store):
+        rng = random.Random(12)
+        tree = RTree.create_empty(store, fanout=6)
+        live = []
+        for i in range(500):
+            if live and rng.random() < 0.4:
+                rect, value = live.pop(rng.randrange(len(live)))
+                assert delete(tree, rect, value)
+            else:
+                x, y = rng.random(), rng.random()
+                rect = Rect((x, y), (x + 0.02, y + 0.02))
+                insert(tree, rect, i)
+                live.append((rect, i))
+            if i % 100 == 99:
+                validate_rtree(tree, expect_size=len(live))
+        engine = QueryEngine(tree)
+        for window in random_windows(15, seed=13):
+            got, _ = engine.query(window)
+            assert_same_matches(got, brute_force_query(live, window))
+
+    def test_delete_then_reinsert(self, store):
+        data = random_rects(100, seed=14)
+        tree = grow_tree(store, data, fanout=5)
+        for rect, value in data[:50]:
+            delete(tree, rect, value)
+        for rect, value in data[:50]:
+            insert(tree, rect, value)
+        validate_rtree(tree, expect_size=100)
+        window = Rect((0.0, 0.0), (1.0, 1.0))
+        assert tree.count_query(window) == 100

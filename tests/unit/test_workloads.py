@@ -1,0 +1,111 @@
+"""Unit tests for query-workload generators and the report tables."""
+
+import pytest
+
+from repro.experiments.report import Table
+from repro.geometry.rect import Rect
+from repro.workloads.queries import (
+    cluster_line_queries,
+    dataset_bounds,
+    skewed_queries,
+    square_queries,
+)
+
+
+class TestSquareQueries:
+    UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+    def test_count_and_determinism(self):
+        a = square_queries(self.UNIT, 1.0, count=50, seed=1)
+        b = square_queries(self.UNIT, 1.0, count=50, seed=1)
+        assert len(a) == 50 and list(a) == list(b)
+
+    def test_area_is_percent_of_bounds(self):
+        for window in square_queries(self.UNIT, 1.0, count=20, seed=2):
+            assert window.area() == pytest.approx(0.01)
+
+    def test_windows_inside_bounds(self):
+        bounds = Rect((10.0, 20.0), (30.0, 40.0))
+        for window in square_queries(bounds, 2.0, count=30, seed=3):
+            assert bounds.contains_rect(window)
+
+    def test_non_square_bounds(self):
+        wide = Rect((0.0, 0.0), (100.0, 1.0))
+        for window in square_queries(wide, 0.5, count=10, seed=4):
+            assert wide.contains_rect(window)
+            assert window.side(0) == pytest.approx(window.side(1))  # square
+
+    def test_invalid_percent(self):
+        with pytest.raises(ValueError):
+            square_queries(self.UNIT, 0.0)
+        with pytest.raises(ValueError):
+            square_queries(self.UNIT, 150.0)
+
+    def test_zero_area_bounds_raise(self):
+        line = Rect((0.0, 0.5), (1.0, 0.5))
+        with pytest.raises(ValueError):
+            square_queries(line, 1.0)
+
+
+class TestSkewedQueries:
+    def test_c1_is_plain_squares(self):
+        for window in skewed_queries(1, count=10, seed=5):
+            assert window.side(0) == pytest.approx(window.side(1))
+
+    def test_high_c_compresses_y(self):
+        flat = skewed_queries(1, count=50, seed=6)
+        squeezed = skewed_queries(9, count=50, seed=6)
+        mean_height = lambda wl: sum(w.side(1) for w in wl) / len(wl)
+        assert mean_height(squeezed) < mean_height(flat)
+
+    def test_windows_in_unit_square(self):
+        for window in skewed_queries(5, count=30, seed=7):
+            assert 0 <= window.lo[0] and window.hi[0] <= 1
+            assert 0 <= window.lo[1] and window.hi[1] <= 1
+
+
+class TestClusterLineQueries:
+    def test_spans_full_width(self):
+        for window in cluster_line_queries(100, count=10, seed=8):
+            assert window.lo[0] == 0.0 and window.hi[0] == 1.0
+
+    def test_thin_and_in_band(self):
+        for window in cluster_line_queries(100, count=10, area=1e-7, seed=9):
+            assert window.side(1) == pytest.approx(1e-7)
+            assert abs(window.lo[1] - 0.5) < 1e-4
+
+    def test_dataset_bounds_helper(self):
+        data = [(Rect((0, 0), (1, 1)), 0), (Rect((2, 2), (3, 3)), 1)]
+        assert dataset_bounds(data) == Rect((0, 0), (3, 3))
+
+
+class TestReportTable:
+    def test_add_row_and_render(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", 1234.5)
+        out = t.render()
+        assert "demo" in out and "1,234" in out
+
+    def test_add_row_wrong_arity(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_extraction(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+
+    def test_notes_rendered(self):
+        t = Table("demo", ["a"])
+        t.add_note("hello note")
+        assert "hello note" in t.render()
+
+    def test_markdown_output(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2)
+        md = t.to_markdown()
+        assert md.startswith("**demo**")
+        assert "| 1 | 2 |" in md
