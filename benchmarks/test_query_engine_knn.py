@@ -1,0 +1,34 @@
+"""Query-engine benchmark: best-first kNN across tree variants.
+
+Not a paper figure — kNN is one of the new operator workloads layered on
+the reproduction.  Expected shape: on uniform data every variant answers
+k=10 queries in a handful of leaf I/Os (the best-first traversal only
+reads leaves whose MINDIST is below the 10th-neighbor distance); on
+CLUSTER data the heuristic trees pay for overlapping leaves exactly as
+they do in Table 1's line queries, while the PR-tree stays bounded.
+"""
+
+from conftest import run_once
+
+from repro.experiments.operators import knn_experiment
+
+
+def test_query_engine_knn(benchmark, record_table):
+    table = run_once(benchmark, knn_experiment, n=4_000, fanout=16, k=10,
+                     queries=40)
+    record_table(table, "query_engine_knn")
+
+    datasets = {row[0] for row in table.rows}
+    assert datasets == {"uniform", "skewed(c=5)", "cluster"}
+
+    for ds in datasets:
+        rows = [row for row in table.rows if row[0] == ds]
+        # Every variant reported exactly k results per query.
+        assert all(row[4] == 40 * 10 for row in rows), rows
+        # Branch-and-bound: far below a full leaf scan (~250 leaves).
+        assert all(row[2] < 60 for row in rows), rows
+
+    # On uniform data all variants are within a small constant of the
+    # ideal ⌈k/B⌉ = 1 leaf per query.
+    uniform = [row[2] for row in table.rows if row[0] == "uniform"]
+    assert max(uniform) < 10.0

@@ -1,0 +1,29 @@
+"""Query-engine benchmark: point (stabbing) queries across variants.
+
+Not a paper figure — the stabbing query is one of the new operator
+workloads.  Expected shape: the cheapest operator of all; on uniform
+data a query touches about one leaf (the containing-box pruning descends
+a near-single root-to-leaf path), and every extra leaf read directly
+measures leaf-MBR overlap of the variant.
+"""
+
+from conftest import run_once
+
+from repro.experiments.operators import point_experiment
+
+
+def test_query_engine_point(benchmark, record_table):
+    table = run_once(benchmark, point_experiment, n=5_000, fanout=16,
+                     queries=100)
+    record_table(table, "query_engine_point")
+
+    datasets = {row[0] for row in table.rows}
+    assert datasets == {"uniform", "skewed(c=5)"}
+
+    for ds in datasets:
+        rows = [row for row in table.rows if row[0] == ds]
+        # Stabbing queries stay within a few leaves per query on every
+        # variant — far below the ~320 leaves a scan would read.
+        assert all(row[2] < 12 for row in rows), rows
+        # All variants see the same data, so reported counts agree.
+        assert len({row[3] for row in rows}) == 1, rows

@@ -44,6 +44,14 @@ from repro.prtree.pseudo import PseudoPRTree
 from repro.prtree.prtree import build_prtree, prtree_query_bound
 from repro.prtree.gridbuild import build_prtree_external
 from repro.prtree.logmethod import LogMethodPRTree
+from repro.queries.knn import KNNEngine, Neighbor, knn
+from repro.queries.join import SpatialJoinEngine, spatial_join
+from repro.queries.point import (
+    PointQueryEngine,
+    containment_query,
+    count_query,
+    point_query,
+)
 
 __version__ = "1.0.0"
 
@@ -85,4 +93,13 @@ __all__ = [
     "prtree_query_bound",
     "build_prtree_external",
     "LogMethodPRTree",
+    "KNNEngine",
+    "Neighbor",
+    "knn",
+    "SpatialJoinEngine",
+    "spatial_join",
+    "PointQueryEngine",
+    "point_query",
+    "containment_query",
+    "count_query",
 ]

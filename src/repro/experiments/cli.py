@@ -27,6 +27,11 @@ from repro.experiments.figures import (
     figure14,
     figure15,
 )
+from repro.experiments.operators import (
+    join_experiment,
+    knn_experiment,
+    point_experiment,
+)
 from repro.experiments.report import Table
 from repro.experiments.tables import table1, theorem3_demo
 from repro.external.memory import MemoryModel
@@ -42,6 +47,9 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Table], tuple[str, ...], str]] = {
     "figure15": (figure15, ("n", "fanout", "queries", "panel"), "extreme synthetic data"),
     "table1": (table1, ("n", "fanout", "queries"), "CLUSTER line queries"),
     "theorem3": (theorem3_demo, ("n", "fanout", "queries"), "worst-case lower bound"),
+    "knn": (knn_experiment, ("n", "fanout", "k", "queries"), "best-first kNN cost by variant"),
+    "join": (join_experiment, ("n", "fanout"), "spatial-join cost by variant"),
+    "point": (point_experiment, ("n", "fanout", "queries"), "stabbing-query cost by variant"),
 }
 
 
@@ -61,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-n", dest="max_n", type=int, help="largest subset size")
     run.add_argument("--fanout", type=int, help="node capacity B")
     run.add_argument("--queries", type=int, help="queries per measurement point")
+    run.add_argument("--k", type=int, help="neighbors per query (knn experiment)")
     run.add_argument(
         "--panel",
         choices=["all", "size", "aspect", "skewed"],

@@ -33,8 +33,12 @@ from repro.iomodel.blockstore import BlockStore
 from repro.prtree.gridbuild import build_prtree_external
 from repro.prtree.prtree import build_prtree
 from repro.bulk.base import BuildStats
+from repro.queries.join import SpatialJoinEngine
+from repro.queries.knn import KNNEngine
+from repro.queries.point import PointQueryEngine
 from repro.rtree.query import QueryEngine
 from repro.rtree.tree import RTree
+from repro.workloads.knn import KNNWorkload
 from repro.workloads.queries import QueryWorkload
 
 Dataset = Sequence[tuple[Rect, Any]]
@@ -153,3 +157,105 @@ def measure_workload(tree: RTree, workload: QueryWorkload) -> WorkloadMetrics:
         leaf_count=tree.leaf_count(),
         fanout=tree.fanout,
     )
+
+
+# ----------------------------------------------------------------------
+# Operator workloads (repro.queries): kNN, spatial join, point queries
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperatorMetrics:
+    """Aggregated per-query measurements for one operator workload.
+
+    Shared by the kNN and point-query measurement loops (``k`` is None
+    for operators without a k parameter).
+    """
+
+    queries: int
+    leaf_ios: int
+    internal_reads: int
+    reported: int
+    leaf_count: int
+    k: int | None = None
+
+    @property
+    def avg_ios(self) -> float:
+        """Mean leaf I/Os per query."""
+        return self.leaf_ios / self.queries if self.queries else 0.0
+
+    @property
+    def visited_fraction(self) -> float:
+        """Mean fraction of all leaves read per query."""
+        if not self.queries or not self.leaf_count:
+            return 0.0
+        return self.leaf_ios / (self.queries * self.leaf_count)
+
+
+def _operator_metrics(engine, tree: RTree, k: int | None = None) -> OperatorMetrics:
+    """Collect a warm-cache engine's totals into :class:`OperatorMetrics`."""
+    totals = engine.totals
+    return OperatorMetrics(
+        queries=totals.queries,
+        leaf_ios=totals.leaf_reads,
+        internal_reads=totals.internal_reads,
+        reported=totals.reported,
+        leaf_count=tree.leaf_count(),
+        k=k,
+    )
+
+
+def measure_knn_workload(tree: RTree, workload: KNNWorkload) -> OperatorMetrics:
+    """Run every kNN query in the workload on a shared warm-cache engine."""
+    engine = KNNEngine(tree, cache_internal=True)
+    for point in workload:
+        engine.knn(point, workload.k)
+    return _operator_metrics(engine, tree, k=workload.k)
+
+
+@dataclass(frozen=True)
+class JoinMetrics:
+    """Measurements for one spatial join between two trees."""
+
+    pairs: int
+    leaf_ios_left: int
+    leaf_ios_right: int
+    internal_reads: int
+    node_pairs: int
+    leaf_count_left: int
+    leaf_count_right: int
+
+    @property
+    def leaf_ios(self) -> int:
+        """Total leaf reads, both trees (the paper-convention cost)."""
+        return self.leaf_ios_left + self.leaf_ios_right
+
+    @property
+    def ios_per_pair(self) -> float:
+        """Leaf reads per reported pair (∞ for an empty join)."""
+        return self.leaf_ios / self.pairs if self.pairs else float("inf")
+
+
+def measure_join(left: RTree, right: RTree) -> JoinMetrics:
+    """Run one synchronized-traversal join and collect its costs."""
+    engine = SpatialJoinEngine(left, right, cache_internal=True)
+    _, stats = engine.join()
+    return JoinMetrics(
+        pairs=stats.pairs,
+        leaf_ios_left=stats.left.leaf_reads,
+        leaf_ios_right=stats.right.leaf_reads,
+        internal_reads=stats.left.internal_reads + stats.right.internal_reads,
+        node_pairs=stats.node_pairs,
+        leaf_count_left=left.leaf_count(),
+        leaf_count_right=right.leaf_count(),
+    )
+
+
+def measure_point_workload(
+    tree: RTree, points: Sequence[Sequence[float]]
+) -> OperatorMetrics:
+    """Run a batch of stabbing queries on a shared warm-cache engine."""
+    engine = PointQueryEngine(tree, cache_internal=True)
+    for point in points:
+        engine.point_query(point)
+    return _operator_metrics(engine, tree)

@@ -1,0 +1,166 @@
+"""Experiments for the operators beyond the window query.
+
+The paper's evaluation stops at window queries; these experiments run
+the :mod:`repro.queries` operators — best-first kNN, synchronized-
+traversal spatial join and stabbing queries — over the same four
+bulk-loaded variants (H, H4, PR, TGS) and the same dataset families, so
+the new workloads slot directly into the existing comparison story.
+
+Expected shapes (not paper readings — these operators are not in the
+paper):
+
+* kNN cost is dominated by the root-to-neighborhood fringe, so all
+  variants land within a small constant of ⌈k/B⌉ + height on uniform
+  data; on SKEWED/CLUSTER data the heuristic trees' overlapping leaves
+  force extra reads exactly as they do for window queries.
+* Join cost tracks how well both trees localize the overlap region;
+  variants with less leaf-MBR overlap read fewer node pairs.
+* Point queries are the cheapest operator (often a single root-to-leaf
+  path) and the clearest view of leaf-level overlap: every extra leaf
+  read is a false positive of the tree, not of the query.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.synthetic import (
+    cluster_dataset,
+    skewed_dataset,
+    uniform_rects,
+)
+from repro.experiments.harness import (
+    VARIANT_ORDER,
+    build_variant,
+    measure_join,
+    measure_knn_workload,
+    measure_point_workload,
+)
+from repro.experiments.report import Table
+from repro.workloads.join import shifted_join, uniform_join
+from repro.workloads.knn import (
+    cluster_knn_queries,
+    skewed_knn_queries,
+    uniform_knn_queries,
+)
+
+__all__ = ["knn_experiment", "join_experiment", "point_experiment"]
+
+
+def knn_experiment(
+    n: int = 4_000,
+    fanout: int = 16,
+    k: int = 10,
+    queries: int = 50,
+    seed: int = 0,
+) -> Table:
+    """kNN cost per variant across uniform and skewed point workloads."""
+    table = Table(
+        title=f"kNN: avg leaf I/Os per query (k={k})",
+        headers=["dataset", "variant", "avg_ios", "internal_reads", "reported"],
+    )
+    runs = [
+        (
+            "uniform",
+            uniform_rects(n, max_side=0.01, seed=seed),
+            uniform_knn_queries(count=queries, k=k, seed=seed + 1),
+        ),
+        (
+            "skewed(c=5)",
+            skewed_dataset(n, c=5, seed=seed),
+            skewed_knn_queries(c=5, count=queries, k=k, seed=seed + 1),
+        ),
+        (
+            "cluster",
+            cluster_dataset(n, seed=seed),
+            cluster_knn_queries(count=queries, k=k, seed=seed + 1),
+        ),
+    ]
+    for ds_name, data, workload in runs:
+        for variant in VARIANT_ORDER:
+            tree = build_variant(variant, data, fanout)
+            metrics = measure_knn_workload(tree, workload)
+            table.add_row(
+                ds_name,
+                variant,
+                metrics.avg_ios,
+                metrics.internal_reads,
+                metrics.reported,
+            )
+    table.add_note(f"n={n}, B={fanout}, k={k}, {queries} queries per point")
+    return table
+
+
+def join_experiment(
+    n: int = 3_000,
+    fanout: int = 16,
+    seed: int = 0,
+) -> Table:
+    """Spatial-join cost per variant across selectivity regimes.
+
+    Both join inputs are indexed with the same variant (the common
+    benchmark setup); ``offset`` sweeps the shifted-copy workload from
+    dense self-overlap to a nearly empty join.
+    """
+    table = Table(
+        title="Spatial join: leaf I/Os by variant and selectivity",
+        headers=["workload", "variant", "pairs", "leaf_ios", "ios_per_pair"],
+    )
+    workloads = [
+        uniform_join(n, seed=seed),
+        shifted_join(n, offset=0.002, seed=seed),
+        shifted_join(n, offset=0.05, seed=seed),
+    ]
+    for workload in workloads:
+        for variant in VARIANT_ORDER:
+            left = build_variant(variant, workload.left, fanout)
+            right = build_variant(variant, workload.right, fanout)
+            metrics = measure_join(left, right)
+            table.add_row(
+                workload.name,
+                variant,
+                metrics.pairs,
+                metrics.leaf_ios,
+                metrics.ios_per_pair,
+            )
+    table.add_note(f"n={n} per side, B={fanout}")
+    return table
+
+
+def point_experiment(
+    n: int = 5_000,
+    fanout: int = 16,
+    queries: int = 100,
+    seed: int = 0,
+) -> Table:
+    """Stabbing-query cost per variant on uniform and skewed data."""
+    table = Table(
+        title="Point (stabbing) queries: avg leaf I/Os",
+        headers=["dataset", "variant", "avg_ios", "reported", "leaf_count"],
+    )
+    rng = random.Random(seed + 1)
+    runs = [
+        (
+            "uniform",
+            uniform_rects(n, max_side=0.02, seed=seed),
+            [(rng.random(), rng.random()) for _ in range(queries)],
+        ),
+        (
+            "skewed(c=5)",
+            skewed_dataset(n, c=5, seed=seed),
+            [(rng.random(), rng.random() ** 5) for _ in range(queries)],
+        ),
+    ]
+    for ds_name, data, points in runs:
+        for variant in VARIANT_ORDER:
+            tree = build_variant(variant, data, fanout)
+            metrics = measure_point_workload(tree, points)
+            table.add_row(
+                ds_name,
+                variant,
+                metrics.avg_ios,
+                metrics.reported,
+                metrics.leaf_count,
+            )
+    table.add_note(f"n={n}, B={fanout}, {queries} stabbing queries")
+    return table

@@ -165,6 +165,65 @@ class Rect:
         return True
 
     # ------------------------------------------------------------------
+    # Distances (best-first kNN, Hjaltason & Samet's MINDIST/MAXDIST)
+    # ------------------------------------------------------------------
+
+    def dist_sq_to_point(self, point: Sequence[float]) -> float:
+        """Squared Euclidean distance from ``point`` to this rectangle.
+
+        Zero when the point lies inside or on the boundary.  The squared
+        form is what the kNN engine orders its priority queue by — it is
+        monotone in the true distance and avoids a sqrt per entry.
+        """
+        acc = 0.0
+        for a_lo, a_hi, p in zip(self.lo, self.hi, point):
+            if p < a_lo:
+                d = a_lo - p
+                acc += d * d
+            elif p > a_hi:
+                d = p - a_hi
+                acc += d * d
+        return acc
+
+    def min_dist_to_point(self, point: Sequence[float]) -> float:
+        """Euclidean distance from ``point`` to the nearest point of self."""
+        return math.sqrt(self.dist_sq_to_point(point))
+
+    def max_dist_sq_to_point(self, point: Sequence[float]) -> float:
+        """Squared distance from ``point`` to the *farthest* corner.
+
+        An upper bound on the distance to anything inside the rectangle;
+        usable for kNN pruning (every object in a node is at most this far
+        away).
+        """
+        acc = 0.0
+        for a_lo, a_hi, p in zip(self.lo, self.hi, point):
+            d = max(abs(p - a_lo), abs(p - a_hi))
+            acc += d * d
+        return acc
+
+    def dist_sq_to_rect(self, other: "Rect") -> float:
+        """Squared Euclidean distance between the two closest points.
+
+        Zero when the rectangles intersect (closed-box semantics).  This
+        is the MINDIST used when the kNN target is itself a rectangle and
+        by distance-bounded joins.
+        """
+        acc = 0.0
+        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
+            if a_hi < b_lo:
+                d = b_lo - a_hi
+                acc += d * d
+            elif b_hi < a_lo:
+                d = a_lo - b_hi
+                acc += d * d
+        return acc
+
+    def min_dist_to_rect(self, other: "Rect") -> float:
+        """Euclidean distance between the two closest points (0 if touching)."""
+        return math.sqrt(self.dist_sq_to_rect(other))
+
+    # ------------------------------------------------------------------
     # Constructive operations
     # ------------------------------------------------------------------
 

@@ -74,8 +74,14 @@ class QueryStats:
         self.queries += other.queries
 
 
-class QueryEngine:
-    """Reusable window-query executor for one tree.
+class TraversalEngine:
+    """Shared plumbing for every query operator: one tree, one internal-node
+    pool, accumulated totals.
+
+    The window engine below and every operator in :mod:`repro.queries`
+    (kNN, spatial join, point/containment/count) derive from this class,
+    so all of them count I/O through the identical :meth:`_read` path and
+    their reported costs are directly comparable.
 
     Parameters
     ----------
@@ -101,31 +107,6 @@ class QueryEngine:
         self.cache_internal = cache_internal
         self._cache = LRUCache(tree.store, capacity=cache_capacity if cache_internal else 0)
         self.totals = QueryStats()
-
-    def query(self, window: Rect) -> tuple[list[tuple[Rect, Any]], QueryStats]:
-        """Run one window query.
-
-        Returns the matching ``(rect, value)`` pairs and this query's
-        statistics; the engine's :attr:`totals` accumulate across calls.
-        """
-        tree = self.tree
-        stats = QueryStats(queries=1)
-        matches: list[tuple[Rect, Any]] = []
-        stack = [self.tree.root_id]
-        while stack:
-            block_id = stack.pop()
-            node = self._read(block_id, stats)
-            if node.is_leaf:
-                for rect, oid in node.entries:
-                    if rect.intersects(window):
-                        matches.append((rect, tree.objects.get(oid)))
-                        stats.reported += 1
-            else:
-                for rect, child_id in node.entries:
-                    if rect.intersects(window):
-                        stack.append(child_id)
-        self.totals.merge(stats)
-        return matches, stats
 
     def _read(self, block_id: int, stats: QueryStats):
         # The root's leafness is known from tree height; for everything else
@@ -153,6 +134,38 @@ class QueryEngine:
     def reset(self) -> None:
         """Clear accumulated totals (the cache stays warm)."""
         self.totals = QueryStats()
+
+
+class QueryEngine(TraversalEngine):
+    """Reusable window-query executor for one tree.
+
+    Construction parameters are inherited from :class:`TraversalEngine`.
+    """
+
+    def query(self, window: Rect) -> tuple[list[tuple[Rect, Any]], QueryStats]:
+        """Run one window query.
+
+        Returns the matching ``(rect, value)`` pairs and this query's
+        statistics; the engine's :attr:`totals` accumulate across calls.
+        """
+        tree = self.tree
+        stats = QueryStats(queries=1)
+        matches: list[tuple[Rect, Any]] = []
+        stack = [self.tree.root_id]
+        while stack:
+            block_id = stack.pop()
+            node = self._read(block_id, stats)
+            if node.is_leaf:
+                for rect, oid in node.entries:
+                    if rect.intersects(window):
+                        matches.append((rect, tree.objects.get(oid)))
+                        stats.reported += 1
+            else:
+                for rect, child_id in node.entries:
+                    if rect.intersects(window):
+                        stack.append(child_id)
+        self.totals.merge(stats)
+        return matches, stats
 
 
 def brute_force_query(

@@ -1,4 +1,9 @@
-"""Query workload generators (paper Section 3.3)."""
+"""Query workload generators.
+
+Window-query workloads follow paper Section 3.3; the kNN and join
+workloads extend the same scheme to the operators in
+:mod:`repro.queries`.
+"""
 
 from repro.workloads.queries import (
     square_queries,
@@ -6,10 +11,30 @@ from repro.workloads.queries import (
     cluster_line_queries,
     QueryWorkload,
 )
+from repro.workloads.knn import (
+    KNNWorkload,
+    uniform_knn_queries,
+    skewed_knn_queries,
+    cluster_knn_queries,
+)
+from repro.workloads.join import (
+    JoinWorkload,
+    uniform_join,
+    shifted_join,
+    cluster_uniform_join,
+)
 
 __all__ = [
     "square_queries",
     "skewed_queries",
     "cluster_line_queries",
     "QueryWorkload",
+    "KNNWorkload",
+    "uniform_knn_queries",
+    "skewed_knn_queries",
+    "cluster_knn_queries",
+    "JoinWorkload",
+    "uniform_join",
+    "shifted_join",
+    "cluster_uniform_join",
 ]

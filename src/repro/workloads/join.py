@@ -1,0 +1,112 @@
+"""Spatial-join workloads: reproducible dataset pairs.
+
+A join workload is simply two datasets to index and join.  The
+generators control join selectivity through rectangle density and
+overlap structure:
+
+* **uniform x uniform** — two independent sets of small uniform
+  rectangles; expected output grows with the product of densities.
+* **shifted** — a set joined with a translated copy of itself; the
+  offset dials selectivity from "everything matches itself" (0) down to
+  nearly empty (offset larger than the largest rectangle).
+* **cluster x uniform** — the paper's engineered CLUSTER point set
+  against uniform rectangles, concentrating all join work in the thin
+  band along y = 0.5 (the join analogue of Table 1's line queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.datasets.synthetic import cluster_dataset, uniform_rects
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "JoinWorkload",
+    "uniform_join",
+    "shifted_join",
+    "cluster_uniform_join",
+]
+
+Dataset = list[tuple[Rect, Any]]
+
+
+@dataclass(frozen=True)
+class JoinWorkload:
+    """A named pair of datasets to be indexed and joined."""
+
+    name: str
+    left: Dataset
+    right: Dataset
+
+    def __len__(self) -> int:
+        """Input size |R| + |S|."""
+        return len(self.left) + len(self.right)
+
+
+def uniform_join(
+    n_left: int,
+    n_right: int | None = None,
+    max_side: float = 0.01,
+    seed: int = 0,
+) -> JoinWorkload:
+    """Two independent sets of small uniform rectangles."""
+    if n_right is None:
+        n_right = n_left
+    return JoinWorkload(
+        name=f"uniform_join({n_left}x{n_right})",
+        left=uniform_rects(n_left, max_side=max_side, seed=seed),
+        right=uniform_rects(n_right, max_side=max_side, seed=seed + 1),
+    )
+
+
+def shifted_join(
+    n: int,
+    offset: float = 0.005,
+    max_side: float = 0.01,
+    seed: int = 0,
+) -> JoinWorkload:
+    """A rectangle set joined with a diagonally translated copy.
+
+    With ``offset`` below ``max_side`` most rectangles still meet their
+    own copy, so the output is Θ(n); raising the offset past the largest
+    side empties the join.  Translated rectangles are clamped to stay
+    inside the unit square (clamping preserves intersections with the
+    un-shifted originals for positive offsets).
+    """
+    left = uniform_rects(n, max_side=max_side, seed=seed)
+    right = [
+        (
+            Rect(
+                tuple(min(1.0, c + offset) for c in rect.lo),
+                tuple(min(1.0, c + offset) for c in rect.hi),
+            ),
+            value,
+        )
+        for rect, value in left
+    ]
+    return JoinWorkload(
+        name=f"shifted_join(n={n}, offset={offset})", left=left, right=right
+    )
+
+
+def cluster_uniform_join(
+    n_cluster: int,
+    n_uniform: int | None = None,
+    max_side: float = 0.01,
+    seed: int = 0,
+) -> JoinWorkload:
+    """CLUSTER points joined against uniform rectangles.
+
+    All matching pairs live in the thin horizontal band the clusters
+    occupy — a stress test for how well each tree variant isolates that
+    band during the synchronized traversal.
+    """
+    if n_uniform is None:
+        n_uniform = n_cluster
+    return JoinWorkload(
+        name=f"cluster_uniform_join({n_cluster}x{n_uniform})",
+        left=cluster_dataset(n_cluster, seed=seed),
+        right=uniform_rects(n_uniform, max_side=max_side, seed=seed + 1),
+    )

@@ -1,0 +1,100 @@
+"""k-nearest-neighbor query workloads.
+
+Mirrors the window-query workload scheme (100 random queries, averaged):
+each generator produces a reproducible batch of query points plus the k
+to retrieve.  The point distributions match the dataset families of
+Section 3.2 so a workload can be paired with the matching data:
+
+* **uniform** points for the TIGER-like and uniform families;
+* **skewed** points transformed like SKEWED(c), ``(x, y) -> (x, y^c)``,
+  so queries land where the data is dense;
+* **cluster** points inside the CLUSTER band along y = 0.5, the
+  engineered near-worst case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "KNNWorkload",
+    "uniform_knn_queries",
+    "skewed_knn_queries",
+    "cluster_knn_queries",
+]
+
+
+@dataclass(frozen=True)
+class KNNWorkload:
+    """A reproducible batch of kNN queries: points and a shared k."""
+
+    name: str
+    k: int
+    points: list[tuple[float, ...]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+def uniform_knn_queries(
+    count: int = 100,
+    k: int = 10,
+    seed: int = 0,
+    bounds: Rect | None = None,
+    dim: int = 2,
+) -> KNNWorkload:
+    """Uniform query points inside ``bounds`` (unit cube by default)."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    rng = random.Random(seed)
+    if bounds is None:
+        points = [
+            tuple(rng.random() for _ in range(dim)) for _ in range(count)
+        ]
+    else:
+        points = [
+            tuple(
+                lo + rng.random() * (hi - lo)
+                for lo, hi in zip(bounds.lo, bounds.hi)
+            )
+            for _ in range(count)
+        ]
+    return KNNWorkload(name=f"uniform_knn(k={k})", k=k, points=points)
+
+
+def skewed_knn_queries(
+    c: int, count: int = 100, k: int = 10, seed: int = 0
+) -> KNNWorkload:
+    """Query points skewed like SKEWED(c): ``(x, y) -> (x, y^c)``.
+
+    Matching the query distribution to the data distribution keeps the
+    expected neighborhood radius roughly constant across c (the same
+    design as the paper's skew-matched windows).
+    """
+    if c < 1:
+        raise ValueError("c must be >= 1")
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random() ** c) for _ in range(count)]
+    return KNNWorkload(name=f"skewed_knn(c={c}, k={k})", k=k, points=points)
+
+
+def cluster_knn_queries(
+    count: int = 100,
+    k: int = 10,
+    cluster_extent: float = 1e-5,
+    seed: int = 0,
+) -> KNNWorkload:
+    """Query points inside the CLUSTER band (y within ``cluster_extent``
+    of 0.5, x uniform), so every query lands near some cluster."""
+    rng = random.Random(seed)
+    points = [
+        (rng.random(), 0.5 + (rng.random() - 0.5) * cluster_extent)
+        for _ in range(count)
+    ]
+    return KNNWorkload(name=f"cluster_knn(k={k})", k=k, points=points)

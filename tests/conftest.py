@@ -5,9 +5,15 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.geometry.rect import Rect
 from repro.iomodel.blockstore import BlockStore
+
+# Tree builds inside @given bodies make per-example wall-clock noisy on
+# slow CI runners; the property tests assert I/O counts, not time.
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
 
 
 def random_rects(n: int, seed: int = 0, dim: int = 2, max_side: float = 0.05):

@@ -32,6 +32,12 @@ class TestFastExamples:
         assert "fan-out derived from 4 KB blocks: 113" in out
         assert "answers identically" in out
 
+    def test_knn_and_join(self, capsys):
+        out = run_example("knn_and_join.py", capsys)
+        assert "5 nearest restaurants" in out
+        assert "spatial join:" in out
+        assert "leaf I/Os" in out
+
 
 class TestAllExamplesCompile:
     @pytest.mark.parametrize(

@@ -1,0 +1,134 @@
+"""Property-based correctness for the query operators in repro.queries.
+
+Companion to ``test_prop_queries.py``: for arbitrary rectangle sets,
+arbitrary targets and every tree variant, kNN, spatial join and the
+point-family queries must agree with their brute-force oracles.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk.hilbert import build_hilbert, build_hilbert4
+from repro.bulk.str_pack import build_str
+from repro.bulk.tgs import build_tgs
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.prtree import build_prtree
+from repro.queries.join import SpatialJoinEngine, brute_force_join
+from repro.queries.knn import KNNEngine, brute_force_knn
+from repro.queries.point import (
+    PointQueryEngine,
+    brute_force_containment,
+    brute_force_point_query,
+)
+from repro.rtree.query import brute_force_query
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+ALL_BUILDERS = [build_hilbert, build_hilbert4, build_tgs, build_str, build_prtree]
+BUILDER_IDS = ["H", "H4", "TGS", "STR", "PR"]
+
+
+@st.composite
+def rect_datasets(draw, dim=2, max_size=50):
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    data = []
+    for i in range(n):
+        lo = [draw(unit) for _ in range(dim)]
+        hi = [min(1.0, c + draw(st.floats(min_value=0.0, max_value=0.3))) for c in lo]
+        data.append((Rect(lo, hi), i))
+    return data
+
+
+@st.composite
+def points(draw, dim=2):
+    # Slightly outside the unit square too: kNN targets need not be
+    # inside the data extent.
+    coord = st.floats(min_value=-0.5, max_value=1.5, allow_nan=False)
+    return tuple(draw(coord) for _ in range(dim))
+
+
+@st.composite
+def windows(draw, dim=2):
+    lo = [draw(unit) for _ in range(dim)]
+    hi = [min(1.0, c + draw(st.floats(min_value=0.0, max_value=0.6))) for c in lo]
+    return Rect(lo, hi)
+
+
+class TestKNNProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(rect_datasets(), points(), st.integers(min_value=1, max_value=12),
+           st.integers(min_value=2, max_value=9))
+    def test_matches_oracle_distances(self, data, target, k, fanout):
+        want = [nb.distance for nb in brute_force_knn(data, target, k)]
+        for builder, name in zip(ALL_BUILDERS, BUILDER_IDS):
+            tree = builder(BlockStore(), data, fanout)
+            got, _ = KNNEngine(tree).knn(target, k)
+            assert len(got) == len(want), name
+            for g, w in zip(got, want):
+                assert math.isclose(g.distance, w, abs_tol=1e-9), name
+
+    @settings(max_examples=20, deadline=None)
+    @given(rect_datasets(max_size=40), points())
+    def test_incremental_is_sorted_and_complete(self, data, target):
+        tree = build_prtree(BlockStore(), data, 4)
+        got = list(KNNEngine(tree).nearest(target))
+        assert len(got) == len(data)
+        dists = [nb.distance for nb in got]
+        assert dists == sorted(dists)
+        assert sorted(nb.value for nb in got) == sorted(v for _, v in data)
+
+
+class TestJoinProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(rect_datasets(max_size=35), rect_datasets(max_size=35),
+           st.integers(min_value=2, max_value=9))
+    def test_matches_oracle(self, left, right, fanout):
+        want = sorted(brute_force_join(left, right))
+        for builder, name in zip(ALL_BUILDERS, BUILDER_IDS):
+            tl = builder(BlockStore(), left, fanout)
+            tr = builder(BlockStore(), right, fanout)
+            pairs, stats = SpatialJoinEngine(tl, tr).join()
+            got = sorted((a[1], b[1]) for a, b in pairs)
+            assert got == want, name
+            assert stats.pairs == len(want), name
+
+    @settings(max_examples=15, deadline=None)
+    @given(rect_datasets(max_size=30))
+    def test_join_is_symmetric(self, data):
+        other = [(r, v + 1000) for r, v in data[::-1]]
+        tl = build_prtree(BlockStore(), data, 4)
+        tr = build_hilbert(BlockStore(), other, 4)
+        forward, _ = SpatialJoinEngine(tl, tr).join()
+        backward, _ = SpatialJoinEngine(tr, tl).join()
+        assert sorted((a[1], b[1]) for a, b in forward) == sorted(
+            (b[1], a[1]) for a, b in backward
+        )
+
+
+class TestPointFamilyProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(rect_datasets(), points(), st.integers(min_value=2, max_value=9))
+    def test_stabbing_matches_oracle(self, data, point, fanout):
+        want = sorted(v for _, v in brute_force_point_query(data, point))
+        for builder, name in zip(ALL_BUILDERS, BUILDER_IDS):
+            tree = builder(BlockStore(), data, fanout)
+            got, _ = PointQueryEngine(tree).point_query(point)
+            assert sorted(v for _, v in got) == want, name
+
+    @settings(max_examples=25, deadline=None)
+    @given(rect_datasets(), windows(), st.integers(min_value=2, max_value=9))
+    def test_containment_and_count_match_oracles(self, data, window, fanout):
+        want_contained = sorted(
+            v for _, v in brute_force_containment(data, window)
+        )
+        want_count = len(brute_force_query(data, window))
+        for builder, name in zip(ALL_BUILDERS, BUILDER_IDS):
+            tree = builder(BlockStore(), data, fanout)
+            engine = PointQueryEngine(tree)
+            got, _ = engine.containment_query(window)
+            assert sorted(v for _, v in got) == want_contained, name
+            count, _ = engine.count(window)
+            assert count == want_count, name

@@ -1,0 +1,126 @@
+"""Cache behaviour through the query engines (satellite of the LRU tests).
+
+``test_iomodel.py`` covers :class:`LRUCache` in isolation; these tests
+pin down the contract the engines rely on: LRU eviction order over
+longer access sequences, capacity 0 meaning "disabled, every access is a
+counted read", and the paper's footnote-5 setup — once all internal
+nodes are cached, a window query's ``internal_reads`` is exactly 0 and
+its cost is leaf reads alone.
+"""
+
+import math
+
+from tests.conftest import random_rects, random_windows
+
+from repro.iomodel.blockstore import BlockStore
+from repro.iomodel.cache import LRUCache
+from repro.prtree.prtree import build_prtree
+from repro.queries.base import TraversalEngine
+from repro.rtree.query import QueryEngine
+
+
+class TestEvictionOrder:
+    def test_evicts_least_recently_used_over_long_sequence(self):
+        store = BlockStore()
+        ids = [store.allocate(i) for i in range(5)]
+        cache = LRUCache(store, capacity=3)
+        for bid in ids[:3]:          # pool: 0 1 2 (LRU -> MRU)
+            cache.get(bid)
+        cache.get(ids[0])            # pool: 1 2 0
+        cache.get(ids[3])            # evicts 1 -> pool: 2 0 3
+        cache.get(ids[4])            # evicts 2 -> pool: 0 3 4
+        assert ids[0] in cache and ids[3] in cache and ids[4] in cache
+        assert ids[1] not in cache and ids[2] not in cache
+
+    def test_hit_refreshes_recency_repeatedly(self):
+        store = BlockStore()
+        ids = [store.allocate(i) for i in range(4)]
+        cache = LRUCache(store, capacity=2)
+        cache.get(ids[0])
+        for other in ids[1:]:
+            cache.get(other)         # each insert evicts the non-0 entry…
+            cache.get(ids[0])        # …because 0 is refreshed every time
+        assert ids[0] in cache
+        assert len(cache) == 2
+
+    def test_eviction_is_metadata_only(self):
+        store = BlockStore()
+        ids = [store.allocate(i) for i in range(3)]
+        cache = LRUCache(store, capacity=1)
+        for bid in ids:
+            cache.get(bid)
+        # Evictions never write; only the three misses read.
+        assert store.counters.reads == 3
+        assert store.counters.writes == len(ids)  # from allocate() only
+
+
+class TestDisabledCache:
+    def test_capacity_zero_never_stores(self):
+        store = BlockStore()
+        bid = store.allocate("x")
+        cache = LRUCache(store, capacity=0)
+        for _ in range(5):
+            cache.get(bid)
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 5
+        assert store.counters.reads == 5
+
+    def test_engine_cache_internal_false_is_capacity_zero(self, medium_data):
+        tree = build_prtree(BlockStore(), medium_data, 8)
+        engine = QueryEngine(tree, cache_internal=False)
+        for window in random_windows(5, seed=1):
+            engine.query(window)
+        # Every internal visit was a counted disk read.
+        assert engine.totals.internal_reads == engine.totals.internal_visits
+        assert engine.totals.internal_reads > 0
+
+    def test_traversal_engine_honours_capacity(self, medium_data):
+        tree = build_prtree(BlockStore(), medium_data, 8)
+        capped = TraversalEngine(tree, cache_capacity=1)
+        assert capped._cache.capacity == 1
+        disabled = TraversalEngine(tree, cache_internal=False)
+        assert disabled._cache.capacity == 0
+        default = TraversalEngine(tree)
+        assert default._cache.capacity == math.inf
+
+
+class TestWarmCacheWindowQueries:
+    def test_warm_cache_internal_reads_zero(self, medium_data):
+        tree = build_prtree(BlockStore(), medium_data, 8)
+        engine = QueryEngine(tree, cache_internal=True)
+        windows = random_windows(10, seed=2)
+        # Warm-up pass touches (at least) every internal node these
+        # queries need; repeat pass must be all cache hits.
+        for window in windows:
+            engine.query(window)
+        engine.reset()
+        for window in windows:
+            _, stats = engine.query(window)
+            assert stats.internal_reads == 0
+            assert stats.internal_visits > 0
+        assert engine.totals.internal_reads == 0
+        # The paper's convention: with internals cached, cost = leaf reads.
+        assert engine.totals.ios == engine.totals.leaf_reads > 0
+
+    def test_leaf_reads_never_cached(self, medium_data):
+        tree = build_prtree(BlockStore(), medium_data, 8)
+        engine = QueryEngine(tree, cache_internal=True)
+        window = random_windows(1, seed=3)[0]
+        _, first = engine.query(window)
+        _, second = engine.query(window)
+        assert second.leaf_reads == first.leaf_reads > 0
+
+    def test_cache_pressure_brings_misses_back(self, medium_data):
+        tree = build_prtree(BlockStore(), medium_data, 8)
+        engine = QueryEngine(tree, cache_internal=True, cache_capacity=1)
+        windows = random_windows(8, seed=4)
+        for window in windows:
+            engine.query(window)
+        engine.reset()
+        for window in windows:
+            engine.query(window)
+        # With room for one internal node, repeat queries still miss
+        # (unless the tree is so small only the root is internal).
+        internal_nodes = tree.node_count() - tree.leaf_count()
+        if internal_nodes > 1:
+            assert engine.totals.internal_reads > 0

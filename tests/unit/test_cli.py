@@ -70,3 +70,22 @@ class TestRun:
             "run", "figure9", "--fanout", "8", "--memory", "128",
         ]) == 0
         assert "Figure 9" in capsys.readouterr().out
+
+    def test_run_knn_with_k(self, capsys):
+        assert main([
+            "run", "knn", "--n", "400", "--fanout", "8",
+            "--k", "3", "--queries", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kNN" in out and "k=3" in out
+
+    def test_run_join(self, capsys):
+        assert main(["run", "join", "--n", "300", "--fanout", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Spatial join" in out and "uniform_join" in out
+
+    def test_run_point(self, capsys):
+        assert main([
+            "run", "point", "--n", "400", "--fanout", "8", "--queries", "5",
+        ]) == 0
+        assert "stabbing" in capsys.readouterr().out

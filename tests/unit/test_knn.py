@@ -1,0 +1,188 @@
+"""Unit tests for the best-first kNN engine."""
+
+import math
+
+import pytest
+
+from tests.conftest import random_rects
+
+from repro.bulk.hilbert import build_hilbert
+from repro.geometry.rect import Rect, point_rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.prtree import build_prtree
+from repro.queries.knn import KNNEngine, brute_force_knn, knn
+
+BUILDERS = [build_prtree, build_hilbert]
+BUILDER_IDS = ["PR", "H"]
+
+
+def distances(neighbors):
+    return [round(nb.distance, 12) for nb in neighbors]
+
+
+@pytest.mark.parametrize("builder", BUILDERS, ids=BUILDER_IDS)
+class TestKNNMatchesOracle:
+    def test_matches_brute_force(self, builder, small_data):
+        tree = builder(BlockStore(), small_data, 8)
+        for target in [(0.5, 0.5), (0.0, 0.0), (0.9, 0.1)]:
+            got, _ = KNNEngine(tree).knn(target, 10)
+            want = brute_force_knn(small_data, target, 10)
+            assert distances(got) == distances(want)
+
+    def test_rect_target(self, builder, small_data):
+        tree = builder(BlockStore(), small_data, 8)
+        target = Rect((0.4, 0.4), (0.45, 0.45))
+        got, _ = KNNEngine(tree).knn(target, 8)
+        want = brute_force_knn(small_data, target, 8)
+        assert distances(got) == distances(want)
+
+    def test_target_outside_data(self, builder, small_data):
+        tree = builder(BlockStore(), small_data, 8)
+        got, _ = KNNEngine(tree).knn((5.0, -3.0), 4)
+        want = brute_force_knn(small_data, (5.0, -3.0), 4)
+        assert distances(got) == distances(want)
+
+    def test_k_larger_than_tree_returns_everything(self, builder):
+        data = random_rects(25, seed=3)
+        tree = builder(BlockStore(), data, 4)
+        got, _ = KNNEngine(tree).knn((0.5, 0.5), 100)
+        assert len(got) == 25
+        assert distances(got) == distances(
+            brute_force_knn(data, (0.5, 0.5), 100)
+        )
+
+    def test_3d(self, builder):
+        data = random_rects(80, seed=5, dim=3)
+        tree = builder(BlockStore(), data, 4)
+        target = (0.5, 0.5, 0.5)
+        got, _ = KNNEngine(tree).knn(target, 6)
+        assert distances(got) == distances(brute_force_knn(data, target, 6))
+
+
+class TestIncrementalNearest:
+    def test_yields_nondecreasing_distances(self, small_data):
+        tree = build_prtree(BlockStore(), small_data, 8)
+        it = KNNEngine(tree).nearest((0.2, 0.8))
+        dists = [next(it).distance for _ in range(40)]
+        assert dists == sorted(dists)
+
+    def test_exhausts_to_full_dataset(self, small_data):
+        tree = build_prtree(BlockStore(), small_data, 8)
+        all_neighbors = list(KNNEngine(tree).nearest((0.5, 0.5)))
+        assert len(all_neighbors) == len(small_data)
+        assert sorted(nb.value for nb in all_neighbors) == sorted(
+            v for _, v in small_data
+        )
+
+    def test_lazy_iteration_costs_less_than_exhaustion(self, medium_data):
+        tree = build_prtree(BlockStore(), medium_data, 16)
+        engine = KNNEngine(tree)
+        it = engine.nearest((0.5, 0.5))
+        for _ in range(5):
+            next(it)
+        assert engine.totals.leaf_reads < tree.leaf_count()
+
+    def test_stats_accumulate_while_consuming(self, small_data):
+        tree = build_prtree(BlockStore(), small_data, 8)
+        engine = KNNEngine(tree)
+        it = engine.nearest((0.1, 0.1))
+        next(it)
+        assert engine.totals.queries == 1
+        assert engine.totals.reported == 1
+        leaf_reads_at_one = engine.totals.leaf_reads
+        for _ in range(len(small_data) - 1):
+            next(it)
+        assert engine.totals.reported == len(small_data)
+        assert engine.totals.leaf_reads >= leaf_reads_at_one
+
+
+class TestKNNEdgeCases:
+    def test_empty_tree(self):
+        tree = build_prtree(BlockStore(), [], 8)
+        got, stats = KNNEngine(tree).knn((0.5, 0.5), 3)
+        assert got == []
+        assert stats.reported == 0 and stats.queries == 1
+
+    def test_k_zero(self, small_data):
+        tree = build_prtree(BlockStore(), small_data, 8)
+        got, stats = KNNEngine(tree).knn((0.5, 0.5), 0)
+        assert got == [] and stats.queries == 1 and stats.leaf_reads == 0
+
+    def test_negative_k_raises(self, small_data):
+        tree = build_prtree(BlockStore(), small_data, 8)
+        with pytest.raises(ValueError):
+            KNNEngine(tree).knn((0.5, 0.5), -1)
+
+    def test_dimension_mismatch_raises_eagerly(self, small_data):
+        tree = build_prtree(BlockStore(), small_data, 8)
+        engine = KNNEngine(tree)
+        with pytest.raises(ValueError):
+            engine.nearest((0.5,))  # 1-d point, 2-d tree; no next() needed
+        with pytest.raises(ValueError):
+            engine.knn((0.5, 0.5, 0.5), 3)
+        with pytest.raises(ValueError):
+            engine.knn(Rect((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)), 3)
+        with pytest.raises(ValueError):
+            engine.knn((0.5,), 0)  # k == 0 must not mask the bad target
+
+    def test_zero_distance_for_containing_rect(self):
+        data = [(Rect((0.0, 0.0), (1.0, 1.0)), "big")]
+        tree = build_prtree(BlockStore(), data, 4)
+        got, _ = KNNEngine(tree).knn((0.5, 0.5), 1)
+        assert got[0].distance == 0.0 and got[0].value == "big"
+
+    def test_values_attached(self):
+        data = [(point_rect((i / 10, 0.0)), f"p{i}") for i in range(10)]
+        tree = build_prtree(BlockStore(), data, 4)
+        got = knn(tree, (0.0, 0.0), 3)
+        assert [nb.value for nb in got] == ["p0", "p1", "p2"]
+        assert got[1].distance == pytest.approx(0.1)
+
+
+class TestKNNAccounting:
+    def test_stats_per_call_sum_to_totals(self, small_data):
+        tree = build_prtree(BlockStore(), small_data, 8)
+        engine = KNNEngine(tree)
+        per_call = []
+        for target in [(0.1, 0.1), (0.9, 0.9), (0.5, 0.5)]:
+            _, stats = engine.knn(target, 5)
+            per_call.append(stats)
+        assert engine.totals.queries == 3
+        assert engine.totals.leaf_reads == sum(s.leaf_reads for s in per_call)
+        assert engine.totals.reported == 15
+
+    def test_warm_cache_internal_reads_zero(self, medium_data):
+        tree = build_prtree(BlockStore(), medium_data, 8)
+        engine = KNNEngine(tree)
+        engine.knn((0.5, 0.5), len(medium_data))  # touch every node
+        _, stats = engine.knn((0.3, 0.7), 10)
+        assert stats.internal_reads == 0
+        assert stats.internal_visits > 0
+
+    def test_cache_disabled_counts_every_internal_read(self, small_data):
+        tree = build_prtree(BlockStore(), small_data, 8)
+        engine = KNNEngine(tree, cache_internal=False)
+        engine.knn((0.5, 0.5), 5)
+        engine.reset()
+        _, stats = engine.knn((0.5, 0.5), 5)
+        assert stats.internal_reads == stats.internal_visits > 0
+
+    def test_branch_and_bound_reads_few_leaves(self, medium_data):
+        tree = build_prtree(BlockStore(), medium_data, 16)
+        _, stats = KNNEngine(tree).knn((0.5, 0.5), 5)
+        # 5 neighbors out of 2000 rects must not visit most of the tree.
+        assert stats.leaf_reads <= tree.leaf_count() // 4
+
+
+class TestBruteForceOracle:
+    def test_sorted_and_truncated(self):
+        data = [(point_rect((float(i), 0.0)), i) for i in range(5)]
+        got = brute_force_knn(data, (0.0, 0.0), 3)
+        assert [nb.value for nb in got] == [0, 1, 2]
+        assert got[2].distance == pytest.approx(2.0)
+
+    def test_euclidean_distance(self):
+        data = [(point_rect((3.0, 4.0)), "a")]
+        (nb,) = brute_force_knn(data, (0.0, 0.0), 1)
+        assert nb.distance == pytest.approx(5.0)
+        assert math.isclose(nb.distance, 5.0)

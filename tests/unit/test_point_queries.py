@@ -1,0 +1,148 @@
+"""Unit tests for point (stabbing), containment and count queries."""
+
+import pytest
+
+from tests.conftest import random_rects, random_windows
+
+from repro.bulk.hilbert import build_hilbert
+from repro.geometry.rect import Rect, point_rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.prtree import build_prtree
+from repro.queries.point import (
+    PointQueryEngine,
+    brute_force_containment,
+    brute_force_point_query,
+    containment_query,
+    count_query,
+    point_query,
+)
+from repro.rtree.query import brute_force_query
+
+BUILDERS = [build_prtree, build_hilbert]
+BUILDER_IDS = ["PR", "H"]
+
+
+def values(matches):
+    return sorted(v for _, v in matches)
+
+
+@pytest.mark.parametrize("builder", BUILDERS, ids=BUILDER_IDS)
+class TestPointQueryMatchesOracle:
+    def test_random_points(self, builder, medium_data):
+        tree = builder(BlockStore(), medium_data, 8)
+        engine = PointQueryEngine(tree)
+        for i in range(20):
+            point = (i / 20, 1 - i / 20)
+            got, _ = engine.point_query(point)
+            assert values(got) == values(
+                brute_force_point_query(medium_data, point)
+            )
+
+    def test_boundary_point_counts(self, builder):
+        data = [(Rect((0.2, 0.2), (0.4, 0.4)), "r")]
+        tree = builder(BlockStore(), data, 4)
+        assert values(point_query(tree, (0.4, 0.4))) == ["r"]
+        assert point_query(tree, (0.41, 0.4)) == []
+
+    def test_3d(self, builder):
+        data = random_rects(120, seed=9, dim=3, max_side=0.3)
+        tree = builder(BlockStore(), data, 4)
+        point = (0.5, 0.5, 0.5)
+        got, _ = PointQueryEngine(tree).point_query(point)
+        assert values(got) == values(brute_force_point_query(data, point))
+
+
+@pytest.mark.parametrize("builder", BUILDERS, ids=BUILDER_IDS)
+class TestContainmentMatchesOracle:
+    def test_random_windows(self, builder, medium_data):
+        tree = builder(BlockStore(), medium_data, 8)
+        engine = PointQueryEngine(tree)
+        for window in random_windows(10, seed=3, side=0.3):
+            got, _ = engine.containment_query(window)
+            assert values(got) == values(
+                brute_force_containment(medium_data, window)
+            )
+
+    def test_containment_is_subset_of_intersection(self, builder, small_data):
+        tree = builder(BlockStore(), small_data, 8)
+        window = Rect((0.2, 0.2), (0.7, 0.7))
+        contained = set(values(containment_query(tree, window)))
+        intersecting = set(values(brute_force_query(small_data, window)))
+        assert contained <= intersecting
+
+
+@pytest.mark.parametrize("builder", BUILDERS, ids=BUILDER_IDS)
+class TestCountMatchesOracle:
+    def test_random_windows(self, builder, medium_data):
+        tree = builder(BlockStore(), medium_data, 8)
+        engine = PointQueryEngine(tree)
+        for window in random_windows(10, seed=4):
+            count, stats = engine.count(window)
+            assert count == len(brute_force_query(medium_data, window))
+            assert stats.reported == count
+
+    def test_count_costs_like_window_query(self, builder, medium_data):
+        from repro.rtree.query import QueryEngine
+
+        tree = builder(BlockStore(), medium_data, 8)
+        window = Rect((0.3, 0.3), (0.6, 0.6))
+        _, wstats = QueryEngine(tree).query(window)
+        _, cstats = PointQueryEngine(tree).count(window)
+        assert cstats.leaf_reads == wstats.leaf_reads
+        assert cstats.reported == wstats.reported
+
+
+class TestPointEdgeCases:
+    def test_empty_tree(self):
+        tree = build_prtree(BlockStore(), [], 8)
+        assert point_query(tree, (0.5, 0.5)) == []
+        assert containment_query(tree, Rect((0, 0), (1, 1))) == []
+        assert count_query(tree, Rect((0, 0), (1, 1))) == 0
+
+    def test_dimension_mismatch_raises(self, small_data):
+        tree = build_prtree(BlockStore(), small_data, 8)
+        engine = PointQueryEngine(tree)
+        with pytest.raises(ValueError):
+            engine.point_query((0.5,))
+        window_3d = Rect((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            engine.containment_query(window_3d)
+        with pytest.raises(ValueError):
+            engine.count(window_3d)
+
+    def test_stacked_identical_points(self):
+        data = [(point_rect((0.5, 0.5)), i) for i in range(30)]
+        tree = build_prtree(BlockStore(), data, 4)
+        assert values(point_query(tree, (0.5, 0.5))) == list(range(30))
+
+    def test_point_prunes_harder_than_window(self, medium_data):
+        # Stabbing descends only children whose box contains the point,
+        # so a point query never reads more leaves than the equivalent
+        # degenerate window query.
+        from repro.rtree.query import QueryEngine
+
+        tree = build_prtree(BlockStore(), medium_data, 8)
+        point = (0.37, 0.61)
+        _, pstats = PointQueryEngine(tree).point_query(point)
+        _, wstats = QueryEngine(tree).query(point_rect(point))
+        assert pstats.leaf_reads <= wstats.leaf_reads
+
+
+class TestSharedEngineAccounting:
+    def test_operators_share_one_warm_cache(self, medium_data):
+        tree = build_prtree(BlockStore(), medium_data, 8)
+        engine = PointQueryEngine(tree)
+        # Exercise every internal node once via a count of everything.
+        engine.count(Rect((0.0, 0.0), (1.0, 1.0)))
+        _, s1 = engine.point_query((0.5, 0.5))
+        _, s2 = engine.containment_query(Rect((0.2, 0.2), (0.8, 0.8)))
+        assert s1.internal_reads == 0 and s2.internal_reads == 0
+        assert engine.totals.queries == 3
+
+    def test_totals_merge_across_operators(self, small_data):
+        tree = build_prtree(BlockStore(), small_data, 8)
+        engine = PointQueryEngine(tree)
+        _, a = engine.point_query((0.5, 0.5))
+        _, b = engine.count(Rect((0.1, 0.1), (0.9, 0.9)))
+        assert engine.totals.leaf_reads == a.leaf_reads + b.leaf_reads
+        assert engine.totals.reported == a.reported + b.reported

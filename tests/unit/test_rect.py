@@ -120,6 +120,54 @@ class TestPredicates:
         assert not r.contains_point((1.5, 0.5))
 
 
+class TestDistances:
+    def test_point_inside_has_zero_distance(self):
+        r = Rect((0.0, 0.0), (2.0, 2.0))
+        assert r.dist_sq_to_point((1.0, 1.0)) == 0.0
+        assert r.min_dist_to_point((0.0, 2.0)) == 0.0  # boundary
+
+    def test_point_beside_measures_one_axis(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert r.min_dist_to_point((3.0, 0.5)) == pytest.approx(2.0)
+        assert r.min_dist_to_point((0.5, -1.5)) == pytest.approx(1.5)
+
+    def test_point_at_corner_is_euclidean(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert r.min_dist_to_point((4.0, 5.0)) == pytest.approx(5.0)
+        assert r.dist_sq_to_point((4.0, 5.0)) == pytest.approx(25.0)
+
+    def test_max_dist_bounds_min_dist(self):
+        r = Rect((0.0, 0.0), (1.0, 2.0))
+        p = (3.0, 3.0)
+        assert r.max_dist_sq_to_point(p) >= r.dist_sq_to_point(p)
+        # Farthest corner of the box from (3, 3) is (0, 0).
+        assert r.max_dist_sq_to_point(p) == pytest.approx(18.0)
+
+    def test_rect_rect_zero_when_touching(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((1.0, 1.0), (2.0, 2.0))
+        assert a.dist_sq_to_rect(b) == 0.0
+        assert a.min_dist_to_rect(a) == 0.0
+
+    def test_rect_rect_gap(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((4.0, 5.0), (6.0, 6.0))
+        assert a.min_dist_to_rect(b) == pytest.approx(5.0)
+        assert b.min_dist_to_rect(a) == pytest.approx(5.0)  # symmetric
+
+    def test_degenerate_rects_give_point_distance(self):
+        a = point_rect((0.0, 0.0))
+        b = point_rect((3.0, 4.0))
+        assert a.min_dist_to_rect(b) == pytest.approx(5.0)
+        assert a.dist_sq_to_point((3.0, 4.0)) == pytest.approx(25.0)
+
+    def test_3d_distance(self):
+        r = Rect((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        assert r.min_dist_to_point((2.0, 2.0, 2.0)) == pytest.approx(
+            math.sqrt(3.0)
+        )
+
+
 class TestConstructive:
     def test_union_covers_both(self):
         a = Rect((0.0, 0.0), (1.0, 1.0))

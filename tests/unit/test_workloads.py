@@ -4,6 +4,16 @@ import pytest
 
 from repro.experiments.report import Table
 from repro.geometry.rect import Rect
+from repro.workloads.join import (
+    cluster_uniform_join,
+    shifted_join,
+    uniform_join,
+)
+from repro.workloads.knn import (
+    cluster_knn_queries,
+    skewed_knn_queries,
+    uniform_knn_queries,
+)
 from repro.workloads.queries import (
     cluster_line_queries,
     dataset_bounds,
@@ -77,6 +87,76 @@ class TestClusterLineQueries:
     def test_dataset_bounds_helper(self):
         data = [(Rect((0, 0), (1, 1)), 0), (Rect((2, 2), (3, 3)), 1)]
         assert dataset_bounds(data) == Rect((0, 0), (3, 3))
+
+
+class TestKNNWorkloads:
+    def test_uniform_count_k_and_determinism(self):
+        a = uniform_knn_queries(count=40, k=7, seed=1)
+        b = uniform_knn_queries(count=40, k=7, seed=1)
+        assert len(a) == 40 and a.k == 7
+        assert list(a) == list(b)
+        assert all(0.0 <= x <= 1.0 and 0.0 <= y <= 1.0 for x, y in a)
+
+    def test_uniform_respects_bounds_and_dim(self):
+        bounds = Rect((10.0, 20.0), (30.0, 40.0))
+        wl = uniform_knn_queries(count=25, k=3, seed=2, bounds=bounds)
+        assert all(bounds.contains_point(p) for p in wl)
+        wl3 = uniform_knn_queries(count=5, k=3, seed=2, dim=3)
+        assert all(len(p) == 3 for p in wl3)
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError):
+            uniform_knn_queries(k=-1)
+
+    def test_skewed_compresses_y(self):
+        wl = skewed_knn_queries(c=7, count=200, seed=3)
+        mean_y = sum(y for _, y in wl) / len(wl)
+        assert mean_y < 0.2  # E[y^7] = 1/8 for uniform y
+
+    def test_skewed_invalid_c(self):
+        with pytest.raises(ValueError):
+            skewed_knn_queries(c=0)
+
+    def test_cluster_points_in_band(self):
+        wl = cluster_knn_queries(count=50, k=5, cluster_extent=1e-5, seed=4)
+        assert all(abs(y - 0.5) <= 0.5e-5 for _, y in wl)
+
+
+class TestJoinWorkloads:
+    def test_uniform_sizes_and_determinism(self):
+        a = uniform_join(100, 60, seed=1)
+        b = uniform_join(100, 60, seed=1)
+        assert len(a.left) == 100 and len(a.right) == 60
+        assert len(a) == 160
+        assert a.left == b.left and a.right == b.right
+        # The two sides are independent draws.
+        assert a.left != a.right
+
+    def test_shifted_translates_by_offset(self):
+        wl = shifted_join(50, offset=0.003, seed=2)
+        for (ra, va), (rb, vb) in zip(wl.left, wl.right):
+            assert va == vb
+            if rb.hi[0] < 1.0 and rb.hi[1] < 1.0:  # not clamped
+                assert rb.lo[0] == pytest.approx(ra.lo[0] + 0.003)
+                assert rb.lo[1] == pytest.approx(ra.lo[1] + 0.003)
+
+    def test_shifted_stays_in_unit_square(self):
+        wl = shifted_join(200, offset=0.5, seed=3)
+        for rect, _ in wl.right:
+            assert rect.hi[0] <= 1.0 and rect.hi[1] <= 1.0
+
+    def test_small_offset_keeps_self_matches(self):
+        wl = shifted_join(100, offset=0.001, max_side=0.05, seed=4)
+        matching = sum(
+            1 for (ra, _), (rb, _) in zip(wl.left, wl.right)
+            if ra.intersects(rb)
+        )
+        assert matching > 50  # offset ≪ typical side: most still overlap
+
+    def test_cluster_uniform_shapes(self):
+        wl = cluster_uniform_join(300, 150, seed=5)
+        assert len(wl.left) == 300 and len(wl.right) == 150
+        assert all(rect.is_point() for rect, _ in wl.left)
 
 
 class TestReportTable:
