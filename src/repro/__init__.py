@@ -52,6 +52,17 @@ from repro.queries.point import (
     count_query,
     point_query,
 )
+from repro.storage import FileBlockStore, PagedTree, pack_tree
+from repro.server import (
+    BatchReport,
+    ContainmentRequest,
+    CountRequest,
+    JoinRequest,
+    KNNRequest,
+    PointRequest,
+    QueryServer,
+    WindowRequest,
+)
 
 __version__ = "1.0.0"
 
@@ -102,4 +113,15 @@ __all__ = [
     "point_query",
     "containment_query",
     "count_query",
+    "FileBlockStore",
+    "PagedTree",
+    "pack_tree",
+    "QueryServer",
+    "BatchReport",
+    "WindowRequest",
+    "ContainmentRequest",
+    "CountRequest",
+    "PointRequest",
+    "KNNRequest",
+    "JoinRequest",
 ]

@@ -6,9 +6,14 @@ Usage (installed or from a checkout)::
     python -m repro run figure12 --n 8000 --fanout 16
     python -m repro run theorem3 --n 16384
     python -m repro run all --out results/
+    python -m repro pack index.pack --variant PR --n 50000
+    python -m repro serve-bench --index index.pack --requests 1000
 
 ``run all`` executes every experiment with its defaults and writes each
 rendered table to the output directory (or stdout when none is given).
+``pack`` bulk-loads a variant and writes it to an on-disk index file;
+``serve-bench`` reopens such a file as a lazily paged tree and drives a
+mixed batched workload through the query server.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from repro.experiments.operators import (
     point_experiment,
 )
 from repro.experiments.report import Table
+from repro.experiments.serving import DATASETS, pack_index, serve_bench
 from repro.experiments.tables import table1, theorem3_demo
 from repro.external.memory import MemoryModel
 
@@ -83,6 +89,84 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--markdown", action="store_true", help="emit markdown instead of text"
     )
+
+    pack = sub.add_parser(
+        "pack", help="bulk-load a variant and write an on-disk index file"
+    )
+    pack.add_argument("out", type=pathlib.Path, help="index file to write")
+    pack.add_argument(
+        "--variant",
+        default="PR",
+        choices=["H", "H4", "PR", "TGS", "STR"],
+        help="bulk loader (default PR)",
+    )
+    pack.add_argument(
+        "--dataset",
+        default="tiger-east",
+        choices=sorted(DATASETS),
+        help="dataset family",
+    )
+    pack.add_argument("--n", type=int, default=50_000, help="dataset size")
+    pack.add_argument(
+        "--fanout",
+        type=int,
+        help="node capacity B (default: derived from --block-size)",
+    )
+    pack.add_argument(
+        "--block-size",
+        dest="block_size",
+        type=int,
+        default=4096,
+        help="bytes per block (default 4096, the paper's)",
+    )
+    pack.add_argument("--seed", type=int, default=0, help="generation seed")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive a mixed batched workload through a paged index",
+    )
+    serve.add_argument(
+        "--index",
+        type=pathlib.Path,
+        help="a `repro pack` output; omitted: pack a temporary index first",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=1000, help="total requests"
+    )
+    serve.add_argument(
+        "--batch-size",
+        dest="batch_size",
+        type=int,
+        default=250,
+        help="requests per batch",
+    )
+    serve.add_argument(
+        "--cache-pages",
+        dest="cache_pages",
+        type=int,
+        default=256,
+        help="decoded-page budget of the LRU page cache",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="request-group threads"
+    )
+    serve.add_argument(
+        "--variant", default="PR", choices=["H", "H4", "PR", "TGS", "STR"],
+        help="variant for the temporary index (no --index)",
+    )
+    serve.add_argument(
+        "--dataset", default="tiger-east", choices=sorted(DATASETS),
+        help="dataset for the temporary index (no --index)",
+    )
+    serve.add_argument(
+        "--n", type=int, default=20_000,
+        help="size of the temporary index (no --index)",
+    )
+    serve.add_argument(
+        "--block-size", dest="block_size", type=int, default=4096,
+        help="block size of the temporary index (no --index)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
     return parser
 
 
@@ -122,6 +206,35 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(name) for name in EXPERIMENTS)
         for name, (_, _, description) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    if args.command == "pack":
+        table = pack_index(
+            args.out,
+            variant=args.variant,
+            dataset=args.dataset,
+            n=args.n,
+            fanout=args.fanout,
+            block_size=args.block_size,
+            seed=args.seed,
+        )
+        print(table.render())
+        return 0
+
+    if args.command == "serve-bench":
+        table = serve_bench(
+            index=args.index,
+            requests=args.requests,
+            batch_size=args.batch_size,
+            cache_pages=args.cache_pages,
+            workers=args.workers,
+            variant=args.variant,
+            dataset=args.dataset,
+            n=args.n,
+            block_size=args.block_size,
+            seed=args.seed,
+        )
+        print(table.render())
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

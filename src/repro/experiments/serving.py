@@ -1,0 +1,230 @@
+"""Storage-engine experiments: packing indexes and batch serving.
+
+Two entry points behind the ``repro pack`` and ``repro serve-bench``
+CLI subcommands:
+
+* :func:`pack_index` — bulk-load one variant on the chosen dataset and
+  write it to an index file with :func:`repro.storage.paged.pack_tree`,
+  reporting the pack's size and (almost entirely sequential) write I/O.
+* :func:`serve_bench` — open an index file as a lazily paged tree with
+  a bounded page cache and drive a mixed
+  window/point/count/containment/kNN workload through the batched
+  :class:`~repro.server.QueryServer`, reporting per-batch latency,
+  logical leaf I/O, physical page reads, and dedup savings.  Later
+  batches revisit earlier query regions, so physical reads fall as the
+  page cache warms while the logical I/O per request stays flat — the
+  storage-engine counterpart of the paper's cached-internal-nodes setup.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import tempfile
+import time
+
+from repro.datasets.synthetic import uniform_rects
+from repro.datasets.tiger import tiger_dataset
+from repro.experiments.harness import build_variant
+from repro.experiments.report import Table
+from repro.geometry.rect import Rect
+from repro.iomodel.codec import fanout_for_block
+from repro.server import (
+    DEFAULT_INDEX,
+    ContainmentRequest,
+    CountRequest,
+    KNNRequest,
+    PointRequest,
+    QueryServer,
+    Request,
+    WindowRequest,
+)
+from repro.storage import PagedTree, pack_tree
+from repro.workloads.queries import square_queries
+
+__all__ = ["pack_index", "serve_bench", "mixed_requests", "DATASETS"]
+
+#: Dataset generators accepted by ``repro pack`` / ``repro serve-bench``.
+DATASETS = {
+    "tiger-east": lambda n, seed: tiger_dataset(n, "eastern", seed=seed),
+    "tiger-west": lambda n, seed: tiger_dataset(n, "western", seed=seed),
+    "uniform": lambda n, seed: uniform_rects(n, max_side=0.01, seed=seed),
+}
+
+
+def pack_index(
+    out: str | pathlib.Path,
+    variant: str = "PR",
+    dataset: str = "tiger-east",
+    n: int = 50_000,
+    fanout: int | None = None,
+    block_size: int = 4096,
+    seed: int = 0,
+) -> Table:
+    """Bulk-load one variant and pack it to an index file."""
+    if dataset not in DATASETS:
+        raise ValueError(
+            f"unknown dataset {dataset!r}; choose from {sorted(DATASETS)}"
+        )
+    if fanout is None:
+        fanout = fanout_for_block(block_size, 2)
+    data = DATASETS[dataset](n, seed)
+
+    build_start = time.perf_counter()
+    tree = build_variant(variant, data, fanout)
+    build_s = time.perf_counter() - build_start
+
+    pack_start = time.perf_counter()
+    stats = pack_tree(tree, out, block_size=block_size)
+    pack_s = time.perf_counter() - pack_start
+
+    table = Table(
+        title=f"pack: {variant} over {dataset}",
+        headers=[
+            "variant", "n", "fanout", "height", "blocks",
+            "file_MB", "write_ios", "seq_frac", "build_s", "pack_s",
+        ],
+    )
+    table.add_row(
+        variant,
+        n,
+        fanout,
+        stats.height,
+        stats.n_blocks,
+        stats.file_bytes / 2**20,
+        stats.write_ios,
+        stats.seq_writes / stats.write_ios if stats.write_ios else 0.0,
+        build_s,
+        pack_s,
+    )
+    table.add_note(f"index file: {out} ({block_size}-byte blocks)")
+    return table
+
+
+def mixed_requests(
+    bounds: Rect,
+    count: int = 1000,
+    area_percent: float = 0.25,
+    k: int = 10,
+    duplicate_frac: float = 0.1,
+    seed: int = 0,
+    index: str = DEFAULT_INDEX,
+) -> list[Request]:
+    """A reproducible mixed batch: ~40% window, 20% point, 20% kNN,
+    10% count, 10% containment, plus ``duplicate_frac`` exact repeats
+    (real query streams repeat hot requests; the server dedups them).
+    """
+    rng = random.Random(seed)
+    windows = square_queries(
+        bounds, area_percent, count=max(count, 1), seed=seed
+    ).windows
+
+    def random_point() -> tuple[float, ...]:
+        return tuple(
+            lo + rng.random() * (hi - lo)
+            for lo, hi in zip(bounds.lo, bounds.hi)
+        )
+
+    requests: list[Request] = []
+    for i in range(count):
+        roll = rng.random()
+        window = windows[i % len(windows)]
+        if roll < 0.40:
+            requests.append(WindowRequest(window, index=index))
+        elif roll < 0.60:
+            requests.append(PointRequest(random_point(), index=index))
+        elif roll < 0.80:
+            requests.append(KNNRequest(random_point(), k=k, index=index))
+        elif roll < 0.90:
+            requests.append(CountRequest(window, index=index))
+        else:
+            requests.append(ContainmentRequest(window, index=index))
+    n_dupes = int(len(requests) * duplicate_frac)
+    for _ in range(n_dupes):
+        requests.append(requests[rng.randrange(len(requests))])
+    rng.shuffle(requests)
+    return requests[:count]
+
+
+def serve_bench(
+    index: str | pathlib.Path | None = None,
+    requests: int = 1000,
+    batch_size: int = 250,
+    cache_pages: int = 256,
+    workers: int = 1,
+    variant: str = "PR",
+    dataset: str = "tiger-east",
+    n: int = 20_000,
+    fanout: int | None = None,
+    block_size: int = 4096,
+    seed: int = 0,
+) -> Table:
+    """Drive a mixed batched workload through a paged index file.
+
+    With ``index=None`` a temporary index is built and packed first
+    (``variant``/``dataset``/``n`` control it); otherwise the given
+    ``repro pack`` output is served as-is.
+    """
+    tmpdir: tempfile.TemporaryDirectory | None = None
+    if index is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        index = pathlib.Path(tmpdir.name) / "index.pack"
+        pack_index(
+            index,
+            variant=variant,
+            dataset=dataset,
+            n=n,
+            fanout=fanout,
+            block_size=block_size,
+            seed=seed,
+        )
+    try:
+        with PagedTree.open(index, cache_pages=cache_pages) as tree:
+            server = QueryServer(tree, workers=workers)
+            bounds = tree.root().mbr()
+            stream = mixed_requests(bounds, count=requests, seed=seed + 1)
+
+            table = Table(
+                title=(
+                    f"serve-bench: {requests} mixed requests, "
+                    f"batches of {batch_size}, {cache_pages}-page cache"
+                ),
+                headers=[
+                    "batch", "requests", "executed", "dedup",
+                    "leaf_ios", "internal_reads", "physical_reads",
+                    "latency_ms", "req_per_s",
+                ],
+            )
+            totals = {"leaf": 0, "phys": 0, "lat": 0.0, "reqs": 0}
+            for b in range(0, len(stream), batch_size):
+                batch = stream[b : b + batch_size]
+                report = server.submit(batch)
+                table.add_row(
+                    b // batch_size,
+                    report.requests,
+                    report.executed,
+                    report.dedup_hits,
+                    report.leaf_ios,
+                    report.internal_reads,
+                    report.physical_reads,
+                    report.latency_s * 1000.0,
+                    report.throughput_rps,
+                )
+                totals["leaf"] += report.leaf_ios
+                totals["phys"] += report.physical_reads
+                totals["lat"] += report.latency_s
+                totals["reqs"] += report.requests
+            table.add_note(
+                f"index: {index} (size={tree.size}, height={tree.height}, "
+                f"fanout={tree.fanout})"
+            )
+            if totals["lat"] > 0:
+                table.add_note(
+                    f"overall: {totals['reqs'] / totals['lat']:,.0f} req/s, "
+                    f"{totals['leaf']} leaf I/Os, "
+                    f"{totals['phys']} physical page reads"
+                )
+            return table
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()

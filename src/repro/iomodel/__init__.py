@@ -8,6 +8,10 @@ time (Section 3.3).  This package provides that measurement apparatus:
   distinguish sequential from random accesses, plus a calibrated time model
   mirroring the paper's observation that bulk loaders do mostly sequential
   I/O.
+* :class:`repro.iomodel.store.BlockStoreProtocol` — the structural
+  interface all disk backends share; trees and engines are generic over
+  it, so the in-memory simulator and the real file-backed stores in
+  :mod:`repro.storage` are interchangeable.
 * :class:`repro.iomodel.blockstore.BlockStore` — an in-memory simulated
   disk of fixed-size blocks; every node of every tree and every record of
   every external-memory stream lives in one.
@@ -20,16 +24,19 @@ time (Section 3.3).  This package provides that measurement apparatus:
 """
 
 from repro.iomodel.counters import IOCounters, IOSnapshot, TimeModel
-from repro.iomodel.blockstore import BlockStore, BlockId
+from repro.iomodel.blockstore import BlockStore, BlockId, FreedBlockError
 from repro.iomodel.cache import LRUCache
 from repro.iomodel.codec import NodeCodec, fanout_for_block
+from repro.iomodel.store import BlockStoreProtocol
 
 __all__ = [
     "IOCounters",
     "IOSnapshot",
     "TimeModel",
     "BlockStore",
+    "BlockStoreProtocol",
     "BlockId",
+    "FreedBlockError",
     "LRUCache",
     "NodeCodec",
     "fanout_for_block",

@@ -26,6 +26,18 @@ BlockId = int
 DEFAULT_BLOCK_SIZE = 4096
 
 
+class FreedBlockError(KeyError):
+    """A freed block was freed again or accessed after being freed.
+
+    Distinct from the plain ``KeyError`` raised for never-allocated
+    addresses: a dangling pointer into recycled space is a structural
+    bug (a real disk would silently return stale bytes), while an
+    out-of-range address is usually a caller arithmetic bug.  Subclasses
+    ``KeyError`` so existing "block is not allocated" handlers keep
+    working.
+    """
+
+
 class BlockStore:
     """Simulated disk: allocate, read, write and free fixed-size blocks.
 
@@ -54,6 +66,7 @@ class BlockStore:
         self.block_size = block_size
         self.counters = counters if counters is not None else IOCounters()
         self._blocks: dict[BlockId, Any] = {}
+        self._freed: set[BlockId] = set()
         self._next_id: BlockId = 0
 
     # ------------------------------------------------------------------
@@ -69,10 +82,25 @@ class BlockStore:
         return block_id
 
     def free(self, block_id: BlockId) -> None:
-        """Release a block.  Freeing is metadata-only and costs no I/O."""
+        """Release a block.  Freeing is metadata-only and costs no I/O.
+
+        Raises :class:`FreedBlockError` on a double free and ``KeyError``
+        for an address that was never allocated.
+        """
+        if block_id in self._freed:
+            raise FreedBlockError(f"double free of block {block_id}")
         if block_id not in self._blocks:
             raise KeyError(f"block {block_id} is not allocated")
         del self._blocks[block_id]
+        self._freed.add(block_id)
+
+    def _check_live(self, block_id: BlockId) -> None:
+        if block_id in self._freed:
+            raise FreedBlockError(
+                f"block {block_id} was freed (read-after-free)"
+            )
+        if block_id not in self._blocks:
+            raise KeyError(f"block {block_id} is not allocated")
 
     # ------------------------------------------------------------------
     # Access
@@ -80,17 +108,13 @@ class BlockStore:
 
     def read(self, block_id: BlockId) -> Any:
         """Read a block's payload, counting one I/O."""
-        try:
-            payload = self._blocks[block_id]
-        except KeyError:
-            raise KeyError(f"block {block_id} is not allocated") from None
+        self._check_live(block_id)
         self.counters.record_read(block_id)
-        return payload
+        return self._blocks[block_id]
 
     def write(self, block_id: BlockId, payload: Any) -> None:
         """Overwrite a block in place, counting one I/O."""
-        if block_id not in self._blocks:
-            raise KeyError(f"block {block_id} is not allocated")
+        self._check_live(block_id)
         self._blocks[block_id] = payload
         self.counters.record_write(block_id)
 
@@ -100,6 +124,7 @@ class BlockStore:
         For validation and debugging only — tree-invariant checkers walk
         the whole structure without polluting experiment counters.
         """
+        self._check_live(block_id)
         return self._blocks[block_id]
 
     # ------------------------------------------------------------------

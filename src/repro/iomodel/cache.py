@@ -15,7 +15,7 @@ import math
 from collections import OrderedDict
 from typing import Any
 
-from repro.iomodel.blockstore import BlockId, BlockStore
+from repro.iomodel.store import BlockId, BlockStoreProtocol
 
 
 class LRUCache:
@@ -24,14 +24,17 @@ class LRUCache:
     Parameters
     ----------
     store:
-        Backing simulated disk.
+        Backing block store (any
+        :class:`~repro.iomodel.store.BlockStoreProtocol` backend).
     capacity:
         Maximum number of cached blocks.  ``math.inf`` (the default) caches
         everything, mirroring the paper's cache-all-internal-nodes setup;
         ``0`` disables caching entirely.
     """
 
-    def __init__(self, store: BlockStore, capacity: float = math.inf) -> None:
+    def __init__(
+        self, store: BlockStoreProtocol, capacity: float = math.inf
+    ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.store = store

@@ -1,0 +1,87 @@
+"""The block-store protocol every disk backend implements.
+
+The simulator started with a single concrete store — the in-memory
+:class:`~repro.iomodel.blockstore.BlockStore` holding decoded payloads —
+but the trees, caches and query engines only ever touch the small
+surface captured here: allocate / read / write / free / peek plus
+capacity introspection, with an attached
+:class:`~repro.iomodel.counters.IOCounters` recording every counted
+access.  Pinning that surface down as a :class:`typing.Protocol` lets
+the same tree handles and engines run over any backend:
+
+* :class:`~repro.iomodel.blockstore.BlockStore` — simulated disk,
+  payloads are decoded Python objects;
+* :class:`~repro.storage.filestore.FileBlockStore` — a real file,
+  payloads are raw ``bytes`` of exactly one block;
+* :class:`~repro.storage.paged.PagedNodeStore` — a lazy node-decoding
+  layer over a byte store, payloads are decoded
+  :class:`~repro.rtree.node.Node` objects again.
+
+What a payload *is* depends on the backend; what every backend promises
+is the accounting contract: ``read`` and ``write`` record exactly one
+I/O on :attr:`counters` per call, ``allocate`` records the write that
+materializes the block, and ``peek`` is free (validation and debugging
+walk structures without polluting experiment counters).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+from repro.iomodel.counters import IOCounters
+
+#: Block addresses are plain integers.
+BlockId = int
+
+
+@runtime_checkable
+class BlockStoreProtocol(Protocol):
+    """Structural interface of a fixed-size block store.
+
+    ``runtime_checkable`` so backends can be asserted against it in
+    tests (``isinstance(store, BlockStoreProtocol)``); method signatures
+    are still only checked statically, as usual for protocols.
+    """
+
+    block_size: int
+    counters: IOCounters
+
+    def allocate(self, payload: Any = None) -> BlockId:
+        """Allocate a block holding ``payload``, counting one write."""
+        ...
+
+    def free(self, block_id: BlockId) -> None:
+        """Release a block (metadata only, no counted I/O)."""
+        ...
+
+    def read(self, block_id: BlockId) -> Any:
+        """Read a block's payload, counting one I/O."""
+        ...
+
+    def write(self, block_id: BlockId, payload: Any) -> None:
+        """Overwrite a block in place, counting one I/O."""
+        ...
+
+    def peek(self, block_id: BlockId) -> Any:
+        """Read a block without counting I/O (validation/debugging)."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of live (allocated, not freed) blocks."""
+        ...
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        ...
+
+    def block_ids(self) -> Iterator[BlockId]:
+        """Iterate live block addresses in address order."""
+        ...
+
+    @property
+    def allocated_ever(self) -> int:
+        """Total blocks ever allocated (high-water address)."""
+        ...
+
+    def bytes_used(self) -> int:
+        """Live blocks times block size — the disk footprint."""
+        ...

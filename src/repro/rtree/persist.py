@@ -30,8 +30,8 @@ from __future__ import annotations
 import struct
 from typing import Any, Callable
 
-from repro.iomodel.blockstore import BlockStore
-from repro.iomodel.codec import NodeCodec
+from repro.iomodel.codec import NodeCodec, fanout_for_block
+from repro.iomodel.store import BlockStoreProtocol
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
 
@@ -89,7 +89,7 @@ def serialize_tree(tree: RTree, block_size: int = 4096) -> bytes:
 
 def deserialize_tree(
     image: bytes,
-    store: BlockStore,
+    store: BlockStoreProtocol,
     values: dict[int, Any] | Callable[[int], Any] | None = None,
 ) -> RTree:
     """Rebuild a tree from :func:`serialize_tree` output.
@@ -99,11 +99,22 @@ def deserialize_tree(
     image:
         The byte image.
     store:
-        Destination block store (fresh addresses are allocated).
+        Destination block store (fresh addresses are allocated).  The
+        image's block size must match ``store.block_size`` — a tree laid
+        out for one block size cannot be loaded onto a disk with another
+        without re-deriving fan-outs.
     values:
         Optional object-id → value mapping (dict or callable) used to
         repopulate the tree's object table; ids without a mapping get
         ``None``.
+
+    Raises
+    ------
+    PersistError
+        On any malformed or inconsistent image: bad magic, impossible
+        dimension/fan-out, a block size that disagrees with the target
+        store, a fan-out the claimed block size cannot hold, a truncated
+        or oversized byte payload, or a dangling root index.
     """
     if len(image) < _SUPERBLOCK_BYTES:
         raise PersistError("image shorter than the superblock")
@@ -112,6 +123,24 @@ def deserialize_tree(
     )
     if magic != _MAGIC:
         raise PersistError(f"bad magic {magic!r}")
+    if dim < 1:
+        raise PersistError(f"impossible dimension {dim}")
+    if fanout < 2:
+        raise PersistError(f"impossible fan-out {fanout}")
+    if block_size != store.block_size:
+        raise PersistError(
+            f"image uses {block_size}-byte blocks, target store uses "
+            f"{store.block_size}-byte blocks"
+        )
+    try:
+        capacity = fanout_for_block(block_size, dim)
+    except ValueError as exc:
+        raise PersistError(str(exc)) from None
+    if fanout > capacity:
+        raise PersistError(
+            f"fan-out {fanout} exceeds what a {block_size}-byte block "
+            f"holds in {dim}D ({capacity})"
+        )
     expected = _SUPERBLOCK_BYTES + n_blocks * block_size
     if len(image) != expected:
         raise PersistError(

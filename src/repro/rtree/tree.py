@@ -17,17 +17,20 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.geometry.rect import Rect
-from repro.iomodel.blockstore import BlockId, BlockStore
+from repro.iomodel.store import BlockId, BlockStoreProtocol
 from repro.rtree.node import Node
 
 
 class RTree:
-    """A disk-resident R-tree over a simulated block store.
+    """A disk-resident R-tree over a block store.
 
     Parameters
     ----------
     store:
-        The block store holding the nodes.
+        Any :class:`~repro.iomodel.store.BlockStoreProtocol` backend
+        whose payloads are decoded :class:`~repro.rtree.node.Node`
+        objects — the in-memory simulated disk or the lazily decoding
+        paged store in :mod:`repro.storage`.
     root_id:
         Block id of the root node.
     dim:
@@ -45,7 +48,7 @@ class RTree:
 
     def __init__(
         self,
-        store: BlockStore,
+        store: BlockStoreProtocol,
         root_id: BlockId,
         dim: int,
         fanout: int,
@@ -71,7 +74,7 @@ class RTree:
 
     @classmethod
     def create_empty(
-        cls, store: BlockStore, dim: int = 2, fanout: int = 32
+        cls, store: BlockStoreProtocol, dim: int = 2, fanout: int = 32
     ) -> "RTree":
         """A tree with a single empty leaf root, ready for inserts."""
         root_id = store.allocate(Node(is_leaf=True))

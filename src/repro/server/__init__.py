@@ -1,0 +1,38 @@
+"""Batched query serving over disk-backed trees.
+
+The storage engine (:mod:`repro.storage`) makes an index file queryable
+without holding the tree in memory; this package adds the serving layer
+on top: a :class:`~repro.server.server.QueryServer` that fronts a
+catalog of named trees and executes *batches* of mixed
+window/point/containment/count/kNN/join requests — deduplicated,
+reordered along the Hilbert curve for page-cache locality, executed
+over shared warm engines, and reported with per-batch latency, logical
+I/O, and physical page reads.
+"""
+
+from repro.server.requests import (
+    DEFAULT_INDEX,
+    ContainmentRequest,
+    CountRequest,
+    JoinRequest,
+    KNNRequest,
+    PointRequest,
+    Request,
+    RequestResult,
+    WindowRequest,
+)
+from repro.server.server import BatchReport, QueryServer
+
+__all__ = [
+    "QueryServer",
+    "BatchReport",
+    "Request",
+    "WindowRequest",
+    "ContainmentRequest",
+    "CountRequest",
+    "PointRequest",
+    "KNNRequest",
+    "JoinRequest",
+    "RequestResult",
+    "DEFAULT_INDEX",
+]

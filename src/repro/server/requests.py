@@ -1,0 +1,150 @@
+"""Request and response types of the batched query server.
+
+Requests are small frozen dataclasses — hashable so the server can
+deduplicate repeats inside a batch, and carrying the *name* of the index
+they target so one server can front a catalog of trees.  Each request
+kind maps onto one engine from :mod:`repro.queries` /
+:mod:`repro.rtree.query`:
+
+===========  ==========================================================
+kind         engine
+===========  ==========================================================
+window       :class:`~repro.rtree.query.QueryEngine.query`
+containment  :class:`~repro.queries.point.PointQueryEngine.containment_query`
+count        :class:`~repro.queries.point.PointQueryEngine.count`
+point        :class:`~repro.queries.point.PointQueryEngine.point_query`
+knn          :class:`~repro.queries.knn.KNNEngine.knn`
+join         :class:`~repro.queries.join.SpatialJoinEngine.join`
+===========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Sequence
+
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "DEFAULT_INDEX",
+    "Request",
+    "WindowRequest",
+    "ContainmentRequest",
+    "CountRequest",
+    "PointRequest",
+    "KNNRequest",
+    "JoinRequest",
+    "RequestResult",
+]
+
+#: The index name used when a server fronts a single tree.
+DEFAULT_INDEX = "default"
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base class: every request names the index it runs against."""
+
+    kind: ClassVar[str] = "?"
+
+
+@dataclass(frozen=True)
+class WindowRequest(Request):
+    """All data rectangles intersecting ``window``."""
+
+    window: Rect
+    index: str = DEFAULT_INDEX
+    kind: ClassVar[str] = "window"
+
+
+@dataclass(frozen=True)
+class ContainmentRequest(Request):
+    """All data rectangles lying entirely inside ``window``."""
+
+    window: Rect
+    index: str = DEFAULT_INDEX
+    kind: ClassVar[str] = "containment"
+
+
+@dataclass(frozen=True)
+class CountRequest(Request):
+    """Cardinality of a window query, without materializing matches."""
+
+    window: Rect
+    index: str = DEFAULT_INDEX
+    kind: ClassVar[str] = "count"
+
+
+@dataclass(frozen=True)
+class PointRequest(Request):
+    """All data rectangles containing ``point`` (stabbing query)."""
+
+    point: tuple[float, ...]
+    index: str = DEFAULT_INDEX
+    kind: ClassVar[str] = "point"
+
+    def __post_init__(self) -> None:
+        # Accept any coordinate sequence but store a hashable tuple.
+        object.__setattr__(
+            self, "point", tuple(float(c) for c in self.point)
+        )
+
+
+@dataclass(frozen=True)
+class KNNRequest(Request):
+    """The ``k`` nearest data rectangles to ``target`` (point or Rect)."""
+
+    target: tuple[float, ...] | Rect
+    k: int
+    index: str = DEFAULT_INDEX
+    kind: ClassVar[str] = "knn"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.target, Rect):
+            object.__setattr__(
+                self, "target", tuple(float(c) for c in self.target)
+            )
+        if self.k < 0:
+            raise ValueError("k must be >= 0")
+
+
+@dataclass(frozen=True)
+class JoinRequest(Request):
+    """Every intersecting data-rectangle pair between two indexes."""
+
+    left: str = DEFAULT_INDEX
+    right: str = DEFAULT_INDEX
+    kind: ClassVar[str] = "join"
+
+
+@dataclass
+class RequestResult:
+    """One executed (or deduplicated) request of a batch.
+
+    Attributes
+    ----------
+    request:
+        The request this result answers.
+    value:
+        The operator's payload: ``(rect, value)`` matches for
+        window/containment/point, an ``int`` for count, a list of
+        :class:`~repro.queries.knn.Neighbor` for knn, and a list of
+        pairs for join.
+    stats:
+        The operator's own statistics object
+        (:class:`~repro.rtree.query.QueryStats` or
+        :class:`~repro.queries.join.JoinStats`); shared between
+        duplicates of the same request.
+    latency_s:
+        Wall-clock seconds the execution took (0.0 for duplicates —
+        they reuse the first occurrence's result).
+    deduped:
+        True when this occurrence was answered from an earlier
+        identical request in the same batch.
+    """
+
+    request: Request
+    value: Any
+    stats: Any
+    latency_s: float = 0.0
+    deduped: bool = False

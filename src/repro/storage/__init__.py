@@ -1,0 +1,43 @@
+"""Disk-backed storage engine: real files behind the simulated API.
+
+The I/O model package measures access patterns over an in-memory
+simulated disk; this package provides the matching *real* disk so the
+byte-exact node layout (36-byte entries in 4 KB blocks, paper Section
+3.1) is not just validated but actually served from a file:
+
+* :class:`repro.storage.filestore.FileBlockStore` — fixed-size byte
+  blocks in a single index file (superblock + intrusive freelist), with
+  the same API surface and :class:`~repro.iomodel.counters.IOCounters`
+  accounting as the simulated store.
+* :class:`repro.storage.paged.PagedNodeStore` — a bounded LRU page
+  cache that decodes nodes lazily through the codec, presenting the
+  block-store protocol with :class:`~repro.rtree.node.Node` payloads.
+* :class:`repro.storage.paged.PagedTree` /
+  :func:`repro.storage.paged.pack_tree` — flatten any bulk-loaded tree
+  into an index file and reopen it as a live tree that pages nodes in
+  on demand, so indexes larger than RAM stay queryable by every engine
+  unchanged.
+
+The batched query server in :mod:`repro.server` runs on these handles.
+"""
+
+from repro.storage.filestore import FileBlockStore, StorageError
+from repro.storage.paged import (
+    DEFAULT_CACHE_PAGES,
+    PackStats,
+    PageCacheStats,
+    PagedNodeStore,
+    PagedTree,
+    pack_tree,
+)
+
+__all__ = [
+    "FileBlockStore",
+    "StorageError",
+    "PagedNodeStore",
+    "PagedTree",
+    "PageCacheStats",
+    "PackStats",
+    "pack_tree",
+    "DEFAULT_CACHE_PAGES",
+]

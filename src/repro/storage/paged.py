@@ -1,0 +1,468 @@
+"""Lazily paged R-trees over an on-disk index file.
+
+:func:`pack_tree` flattens any bulk-loaded tree into a
+:class:`~repro.storage.filestore.FileBlockStore` — one codec-encoded
+block per node, children first remapped to dense file addresses, the
+tree descriptor in the file's metadata region.  :class:`PagedTree`
+reopens such a file as a live, queryable tree **without reading it**:
+nodes are fetched and decoded on first touch through
+:class:`PagedNodeStore`, a bounded LRU page cache, so an index far
+larger than RAM costs only ``cache_pages`` decoded nodes of memory
+while every query engine — window, kNN, join, point — runs on it
+unchanged.
+
+Accounting is the contract that keeps figures comparable: a *logical*
+read (``store.read``) counts one I/O on the shared
+:class:`~repro.iomodel.counters.IOCounters` exactly like the simulated
+store, whether or not the page was cached — the page cache models RAM
+reuse of decoded nodes, not the paper's I/O semantics.  The *physical*
+file reads and decodes saved by the cache are reported separately in
+:class:`PageCacheStats` (the cold/warm story of the storage
+benchmarks).
+
+The read path is thread-safe (one lock over the page table, the file
+store has its own), which is what lets the batched
+:class:`~repro.server.QueryServer` share one handle across workers.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.iomodel.blockstore import DEFAULT_BLOCK_SIZE
+from repro.iomodel.codec import NodeCodec
+from repro.iomodel.counters import IOCounters
+from repro.iomodel.store import BlockId
+from repro.rtree.node import Node
+from repro.rtree.persist import PersistError
+from repro.rtree.tree import RTree
+from repro.storage.filestore import (
+    FileBlockStore,
+    HEADER_REGION,
+    StorageError,
+)
+
+__all__ = [
+    "PageCacheStats",
+    "PagedNodeStore",
+    "PagedTree",
+    "PackStats",
+    "pack_tree",
+    "DEFAULT_CACHE_PAGES",
+]
+
+#: Default decoded-page budget: ~4 MB of nodes at the paper's 4 KB blocks.
+DEFAULT_CACHE_PAGES = 1024
+
+#: Tree descriptor stored in the file's metadata region (little-endian):
+#: magic "PGT1" | u16 dim | u32 fanout | u32 height | u64 size | u64 root.
+_TREE_META = "<4sHIIQQ"
+_TREE_META_BYTES = struct.calcsize(_TREE_META)
+_TREE_MAGIC = b"PGT1"
+
+
+@dataclass
+class PageCacheStats:
+    """Physical-access statistics of one :class:`PagedNodeStore`.
+
+    ``hits`` are page-table lookups served without touching the file;
+    ``misses`` each cost one physical block read *and* one node decode;
+    ``evictions`` count pages dropped to stay within the budget.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def physical_reads(self) -> int:
+        """Blocks actually read from the file (= decode count)."""
+        return self.misses
+
+    def snapshot(self) -> "PageCacheStats":
+        return PageCacheStats(self.hits, self.misses, self.evictions)
+
+    def __sub__(self, other: "PageCacheStats") -> "PageCacheStats":
+        return PageCacheStats(
+            self.hits - other.hits,
+            self.misses - other.misses,
+            self.evictions - other.evictions,
+        )
+
+
+class PagedNodeStore:
+    """Node-decoding LRU page layer over a byte block store.
+
+    Implements :class:`~repro.iomodel.store.BlockStoreProtocol` with
+    decoded :class:`~repro.rtree.node.Node` payloads, so an
+    :class:`~repro.rtree.tree.RTree` handle (and every engine built on
+    one) runs over it exactly as over the simulated disk.
+
+    Parameters
+    ----------
+    file_store:
+        The byte store holding codec-encoded nodes.
+    dim:
+        Spatial dimension (fixes the entry layout).
+    capacity:
+        Maximum decoded pages held in memory; 0 disables caching so
+        every access decodes from the file (the fully-cold setup).
+    """
+
+    def __init__(
+        self,
+        file_store: FileBlockStore,
+        dim: int,
+        capacity: int = DEFAULT_CACHE_PAGES,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.file_store = file_store
+        self.codec = NodeCodec(dim=dim, block_size=file_store.block_size)
+        self.capacity = capacity
+        self.stats = PageCacheStats()
+        self._pages: OrderedDict[BlockId, Node] = OrderedDict()
+        # The current page stays pinned outside the LRU budget: engines
+        # peek a node's kind and immediately read the same block, and
+        # that pair must cost one physical read even with capacity 0.
+        self._mru: tuple[BlockId, Node] | None = None
+        self._lock = threading.Lock()
+
+    # -- protocol attributes ------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        return self.file_store.block_size
+
+    @property
+    def counters(self) -> IOCounters:
+        return self.file_store.counters
+
+    # -- page table ----------------------------------------------------
+
+    def _get_locked(self, block_id: BlockId) -> Node:
+        if self._mru is not None and self._mru[0] == block_id:
+            self.stats.hits += 1
+            return self._mru[1]
+        node = self._pages.get(block_id)
+        if node is not None:
+            self.stats.hits += 1
+            self._pages.move_to_end(block_id)
+            self._mru = (block_id, node)
+            return node
+        self.stats.misses += 1
+        is_leaf, entries = self.codec.decode(self.file_store.peek(block_id))
+        node = Node(is_leaf, entries)
+        self._insert_locked(block_id, node)
+        return node
+
+    def _insert_locked(self, block_id: BlockId, node: Node) -> None:
+        self._mru = (block_id, node)
+        if self.capacity == 0:
+            return
+        self._pages[block_id] = node
+        self._pages.move_to_end(block_id)
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+
+    def cached_pages(self) -> int:
+        """Decoded pages currently held (≤ capacity)."""
+        return len(self._pages)
+
+    def clear_cache(self) -> None:
+        """Drop every decoded page (go fully cold); stats are kept."""
+        with self._lock:
+            self._pages.clear()
+            self._mru = None
+
+    # -- counted access (the store protocol) ---------------------------
+
+    def read(self, block_id: BlockId) -> Node:
+        """Read a node, counting one logical I/O (cached page or not)."""
+        with self._lock:
+            node = self._get_locked(block_id)
+            self.counters.record_read(block_id)
+            return node
+
+    def peek(self, block_id: BlockId) -> Node:
+        """Read a node without counting I/O (validation/debugging)."""
+        with self._lock:
+            return self._get_locked(block_id)
+
+    def write(self, block_id: BlockId, node: Node) -> None:
+        """Encode and write a node back, counting one I/O."""
+        encoded = self.codec.encode(node.is_leaf, node.entries)
+        with self._lock:
+            self.file_store.write(block_id, encoded)
+            self._insert_locked(block_id, node)
+
+    def allocate(self, node: Node | None = None) -> BlockId:
+        """Allocate a block for a node, counting the materializing write."""
+        encoded = (
+            None
+            if node is None
+            else self.codec.encode(node.is_leaf, node.entries)
+        )
+        with self._lock:
+            block_id = self.file_store.allocate(encoded)
+            if node is not None:
+                self._insert_locked(block_id, node)
+            return block_id
+
+    def free(self, block_id: BlockId) -> None:
+        """Release a block (metadata only, no counted I/O)."""
+        with self._lock:
+            self.file_store.free(block_id)
+            self._pages.pop(block_id, None)
+            if self._mru is not None and self._mru[0] == block_id:
+                self._mru = None
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.file_store)
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return block_id in self.file_store
+
+    def block_ids(self) -> Iterator[BlockId]:
+        return self.file_store.block_ids()
+
+    @property
+    def allocated_ever(self) -> int:
+        return self.file_store.allocated_ever
+
+    def bytes_used(self) -> int:
+        return self.file_store.bytes_used()
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedNodeStore(pages={len(self._pages)}/{self.capacity}, "
+            f"{self.file_store!r})"
+        )
+
+
+class _CallableValues(Mapping):
+    """Adapts an oid → value callable to the mapping the engines expect."""
+
+    def __init__(self, fn: Callable[[int], Any]) -> None:
+        self._fn = fn
+
+    def get(self, oid, default=None):
+        value = self._fn(oid)
+        return default if value is None else value
+
+    def __getitem__(self, oid):
+        return self._fn(oid)
+
+    def __iter__(self):  # pragma: no cover - unused by the engines
+        return iter(())
+
+    def __len__(self) -> int:  # pragma: no cover - unused by the engines
+        return 0
+
+
+@dataclass(frozen=True)
+class PackStats:
+    """What :func:`pack_tree` wrote.
+
+    ``file_bytes`` counts the header region plus every block, i.e. the
+    exact on-disk size of the index file.  ``write_ios`` /
+    ``seq_writes`` are the pack-time accounting: packing emits one block
+    write per node, all but the first sequential.
+    """
+
+    n_blocks: int
+    block_size: int
+    file_bytes: int
+    height: int
+    size: int
+    write_ios: int
+    seq_writes: int
+
+
+def pack_tree(
+    tree: RTree,
+    path: str | os.PathLike | None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> PackStats:
+    """Write a tree to an index file in dense preorder.
+
+    Children are remapped to the dense file addresses (a fresh store
+    allocates 0, 1, 2, …), so the file is independent of the allocation
+    history of the store the tree was built on, and packing is one
+    sequential sweep of writes — the access pattern the paper's bulk
+    loaders end with.
+
+    Raises :class:`~repro.rtree.persist.PersistError` when the tree's
+    fan-out physically cannot fit the requested block size.
+    """
+    codec = NodeCodec(dim=tree.dim, block_size=block_size)
+    if tree.fanout > codec.fanout:
+        raise PersistError(
+            f"tree fan-out {tree.fanout} exceeds what a {block_size}-byte "
+            f"block holds in {tree.dim}D ({codec.fanout})"
+        )
+
+    order: list[tuple[int, Node]] = [
+        (bid, node) for bid, node, _ in tree.iter_nodes()
+    ]
+    index_of = {bid: i for i, (bid, _) in enumerate(order)}
+
+    meta = struct.pack(
+        _TREE_META,
+        _TREE_MAGIC,
+        tree.dim,
+        tree.fanout,
+        tree.height,
+        tree.size,
+        index_of[tree.root_id],
+    )
+    with FileBlockStore.create(path, block_size, meta=meta) as file_store:
+        for _, node in order:
+            if node.is_leaf:
+                entries = node.entries
+            else:
+                entries = [
+                    (rect, index_of[child]) for rect, child in node.entries
+                ]
+            file_store.allocate(codec.encode(node.is_leaf, entries))
+        n_blocks = file_store.allocated_ever
+        file_bytes = HEADER_REGION + n_blocks * block_size
+        write_ios = file_store.counters.writes
+        seq_writes = file_store.counters.seq_writes
+    return PackStats(
+        n_blocks=n_blocks,
+        block_size=block_size,
+        file_bytes=file_bytes,
+        height=tree.height,
+        size=tree.size,
+        write_ios=write_ios,
+        seq_writes=seq_writes,
+    )
+
+
+class PagedTree(RTree):
+    """An R-tree whose nodes live in an index file and page in lazily.
+
+    Construct with :meth:`open`; close (or use as a context manager)
+    when done.  The handle is a plain :class:`~repro.rtree.tree.RTree`
+    to every engine — only the store behind it differs.
+    """
+
+    def __init__(
+        self,
+        store: PagedNodeStore,
+        root_id: BlockId,
+        dim: int,
+        fanout: int,
+        height: int,
+        size: int,
+        values: dict[int, Any] | Callable[[int], Any] | None = None,
+    ) -> None:
+        super().__init__(
+            store, root_id, dim=dim, fanout=fanout, height=height, size=size
+        )
+        if values is None:
+            pass  # engines report None values, structure is intact
+        elif callable(values):
+            self.objects = _CallableValues(values)
+        else:
+            self.objects = dict(values)
+            if self.objects:
+                self._next_oid = max(self.objects) + 1
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike,
+        values: dict[int, Any] | Callable[[int], Any] | None = None,
+        cache_pages: int = DEFAULT_CACHE_PAGES,
+        counters: IOCounters | None = None,
+        readonly: bool = False,
+    ) -> "PagedTree":
+        """Open a :func:`pack_tree` index file without reading the tree.
+
+        Parameters
+        ----------
+        path:
+            The index file.
+        values:
+            Optional object-id → value mapping (dict or callable); the
+            file stores object *ids* only, exactly like
+            :func:`~repro.rtree.persist.serialize_tree` images.
+        cache_pages:
+            Decoded-page budget of the LRU page cache.
+        counters:
+            Shared I/O counters; a fresh set is created when omitted.
+        readonly:
+            Open the file without write access (safe for concurrent
+            readers of the same file).
+        """
+        file_store = FileBlockStore.open(
+            path, counters=counters, readonly=readonly
+        )
+        try:
+            meta = file_store.metadata
+            if len(meta) < _TREE_META_BYTES:
+                raise StorageError(
+                    f"{path} holds no packed tree (metadata too short)"
+                )
+            magic, dim, fanout, height, size, root_id = struct.unpack_from(
+                _TREE_META, meta, 0
+            )
+            if magic != _TREE_MAGIC:
+                raise StorageError(
+                    f"{path} holds no packed tree (bad metadata magic "
+                    f"{magic!r})"
+                )
+            if root_id not in file_store:
+                raise StorageError(f"{path}: root block {root_id} missing")
+        except Exception:
+            file_store.close()
+            raise
+        store = PagedNodeStore(file_store, dim=dim, capacity=cache_pages)
+        return cls(
+            store,
+            root_id,
+            dim=dim,
+            fanout=fanout,
+            height=height,
+            size=size,
+            values=values,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def page_store(self) -> PagedNodeStore:
+        """The node-decoding page layer (for cache statistics)."""
+        return self.store  # type: ignore[return-value]
+
+    @property
+    def page_stats(self) -> PageCacheStats:
+        """Physical page-cache statistics (hits/misses/evictions)."""
+        return self.page_store.stats
+
+    def close(self) -> None:
+        """Close the underlying index file (idempotent)."""
+        self.page_store.file_store.close()
+
+    def __enter__(self) -> "PagedTree":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedTree(dim={self.dim}, fanout={self.fanout}, "
+            f"height={self.height}, size={self.size}, "
+            f"pages={self.page_store.cached_pages()})"
+        )

@@ -59,6 +59,45 @@ class TestRun:
         out = capsys.readouterr().out
         assert "skewed" in out
 
+
+class TestPackAndServe:
+    def test_pack_writes_index(self, tmp_path, capsys):
+        out = tmp_path / "idx.pack"
+        assert main([
+            "pack", str(out), "--variant", "PR", "--dataset", "uniform",
+            "--n", "500", "--fanout", "16",
+        ]) == 0
+        assert out.exists()
+        assert "pack: PR over uniform" in capsys.readouterr().out
+
+    def test_pack_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["pack", "x.pack", "--dataset", "bogus"]
+            )
+
+    def test_serve_bench_over_packed_index(self, tmp_path, capsys):
+        out = tmp_path / "idx.pack"
+        assert main([
+            "pack", str(out), "--variant", "H", "--dataset", "uniform",
+            "--n", "500", "--fanout", "16",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve-bench", "--index", str(out), "--requests", "60",
+            "--batch-size", "20", "--cache-pages", "16",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "serve-bench: 60 mixed requests" in text
+        assert "req_per_s" in text
+
+    def test_serve_bench_builds_temporary_index(self, capsys):
+        assert main([
+            "serve-bench", "--requests", "30", "--batch-size", "15",
+            "--dataset", "uniform", "--n", "400",
+        ]) == 0
+        assert "serve-bench: 30 mixed requests" in capsys.readouterr().out
+
     def test_run_figure12_small(self, capsys):
         assert main([
             "run", "figure12", "--n", "500", "--fanout", "8", "--queries", "3",

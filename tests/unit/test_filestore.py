@@ -1,0 +1,248 @@
+"""Unit tests for the on-disk file block store."""
+
+import struct
+
+import pytest
+
+from repro.iomodel.blockstore import BlockStore, FreedBlockError
+from repro.iomodel.counters import IOCounters
+from repro.iomodel.store import BlockStoreProtocol
+from repro.storage.filestore import (
+    FileBlockStore,
+    HEADER_REGION,
+    META_CAPACITY,
+    StorageError,
+)
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "store.fbs"
+
+
+class TestCreateAndLayout:
+    def test_satisfies_store_protocol(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            assert isinstance(store, BlockStoreProtocol)
+
+    def test_fresh_store_is_empty(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            assert len(store) == 0
+            assert store.allocated_ever == 0
+            assert store.bytes_used() == 0
+
+    def test_block_offsets_are_fixed(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            store.allocate(b"first")
+            store.allocate(b"second")
+        raw = path.read_bytes()
+        assert raw[HEADER_REGION : HEADER_REGION + 5] == b"first"
+        assert raw[HEADER_REGION + 64 : HEADER_REGION + 70] == b"second"
+
+    def test_payload_zero_padded_to_block(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            bid = store.allocate(b"abc")
+            data = store.read(bid)
+            assert len(data) == 64
+            assert data == b"abc" + b"\x00" * 61
+
+    def test_none_payload_is_zero_block(self, path):
+        with FileBlockStore.create(path, block_size=32) as store:
+            assert store.read(store.allocate(None)) == b"\x00" * 32
+
+    def test_oversized_payload_rejected(self, path):
+        with FileBlockStore.create(path, block_size=16) as store:
+            with pytest.raises(ValueError):
+                store.allocate(b"x" * 17)
+
+    def test_tiny_block_size_rejected(self, path):
+        with pytest.raises(ValueError):
+            FileBlockStore.create(path, block_size=4)
+
+    def test_memory_backed_store(self):
+        store = FileBlockStore.create(None, block_size=32)
+        bid = store.allocate(b"ram")
+        assert store.read(bid)[:3] == b"ram"
+        store.close()
+
+    def test_metadata_roundtrip(self, path):
+        with FileBlockStore.create(path, block_size=64, meta=b"tree-info"):
+            pass
+        with FileBlockStore.open(path) as store:
+            assert store.metadata == b"tree-info"
+
+    def test_set_metadata_persists(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            store.set_metadata(b"later")
+        with FileBlockStore.open(path) as store:
+            assert store.metadata == b"later"
+
+    def test_metadata_capacity_enforced(self, path):
+        with pytest.raises(ValueError):
+            FileBlockStore.create(
+                path, block_size=64, meta=b"x" * (META_CAPACITY + 1)
+            )
+
+
+class TestAccounting:
+    def test_same_counting_as_simulated_store(self, path):
+        """The file store and the simulated store count identically."""
+        sim = BlockStore(block_size=64)
+        with FileBlockStore.create(path, block_size=64) as real:
+            for store, payload in ((sim, "a"), (real, b"a")):
+                x = store.allocate(payload)
+                y = store.allocate(payload)
+                store.read(x)
+                store.read(y)
+                store.write(x, payload)
+                store.peek(y)
+            assert real.counters.reads == sim.counters.reads == 2
+            assert real.counters.writes == sim.counters.writes == 3
+            assert real.counters.seq_reads == sim.counters.seq_reads
+
+    def test_sequential_allocation_detected(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            for i in range(5):
+                store.allocate(b"x")
+            # First write has no predecessor; the next four are sequential.
+            assert store.counters.seq_writes == 4
+
+    def test_peek_and_free_cost_nothing(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            bid = store.allocate(b"x")
+            before = store.counters.total
+            store.peek(bid)
+            store.free(bid)
+            assert store.counters.total == before
+
+    def test_shared_counters(self, path):
+        counters = IOCounters()
+        with FileBlockStore.create(
+            path, block_size=64, counters=counters
+        ) as store:
+            store.allocate(b"x")
+            assert counters.writes == 1
+
+
+class TestFreelist:
+    def test_free_then_reuse_lifo(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            ids = [store.allocate(b"x") for _ in range(4)]
+            store.free(ids[1])
+            store.free(ids[2])
+            assert store.allocate(b"y") == ids[2]
+            assert store.allocate(b"y") == ids[1]
+            assert store.allocate(b"y") == 4  # freelist empty: file grows
+
+    def test_double_free_raises(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            bid = store.allocate(b"x")
+            store.free(bid)
+            with pytest.raises(FreedBlockError, match="double free"):
+                store.free(bid)
+
+    def test_read_after_free_raises(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            bid = store.allocate(b"x")
+            store.free(bid)
+            with pytest.raises(FreedBlockError, match="read-after-free"):
+                store.read(bid)
+            with pytest.raises(FreedBlockError):
+                store.write(bid, b"y")
+            with pytest.raises(FreedBlockError):
+                store.peek(bid)
+
+    def test_unallocated_access_is_plain_key_error(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            with pytest.raises(KeyError) as excinfo:
+                store.read(42)
+            assert not isinstance(excinfo.value, FreedBlockError)
+            with pytest.raises(KeyError):
+                store.free(42)
+
+    def test_reallocated_block_is_readable_again(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            bid = store.allocate(b"old")
+            store.free(bid)
+            again = store.allocate(b"new")
+            assert again == bid
+            assert store.read(bid)[:3] == b"new"
+
+    def test_freelist_survives_reopen(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            ids = [store.allocate(b"x") for _ in range(5)]
+            store.free(ids[0])
+            store.free(ids[3])
+        with FileBlockStore.open(path) as store:
+            assert len(store) == 3
+            assert sorted(store.block_ids()) == [1, 2, 4]
+            with pytest.raises(FreedBlockError):
+                store.read(ids[3])
+            # LIFO order is preserved across the reopen.
+            assert store.allocate(b"y") == ids[3]
+            assert store.allocate(b"y") == ids[0]
+
+
+class TestReopen:
+    def test_payloads_survive_reopen(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            ids = [store.allocate(bytes([i]) * 8) for i in range(3)]
+        with FileBlockStore.open(path) as store:
+            for i, bid in enumerate(ids):
+                assert store.read(bid)[:8] == bytes([i]) * 8
+
+    def test_open_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="no index file"):
+            FileBlockStore.open(tmp_path / "nope.fbs")
+
+    def test_open_bad_magic(self, path):
+        path.write_bytes(b"JUNK" + b"\x00" * HEADER_REGION)
+        with pytest.raises(StorageError, match="bad magic"):
+            FileBlockStore.open(path)
+
+    def test_open_corrupt_block_size(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            store.allocate(b"x")
+        raw = bytearray(path.read_bytes())
+        # block_size is the I field right after magic + version.
+        struct.pack_into("<I", raw, 6, 0)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StorageError, match="block size"):
+            FileBlockStore.open(path)
+
+    def test_open_truncated_file(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            for _ in range(4):
+                store.allocate(b"x")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: HEADER_REGION + 64])  # lose three blocks
+        with pytest.raises(StorageError, match="promises"):
+            FileBlockStore.open(path)
+
+    def test_open_corrupt_freelist(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            bid = store.allocate(b"x")
+            store.free(bid)
+        raw = bytearray(path.read_bytes())
+        # Point the freed block's next pointer at itself (a cycle).
+        struct.pack_into("<Q", raw, HEADER_REGION + bid * 64, bid)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StorageError, match="freelist"):
+            FileBlockStore.open(path)
+
+    def test_readonly_blocks_mutation(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            bid = store.allocate(b"x")
+        with FileBlockStore.open(path, readonly=True) as store:
+            assert store.read(bid)[:1] == b"x"
+            with pytest.raises(StorageError, match="read-only"):
+                store.allocate(b"y")
+            with pytest.raises(StorageError, match="read-only"):
+                store.write(bid, b"y")
+            with pytest.raises(StorageError, match="read-only"):
+                store.free(bid)
+
+    def test_close_is_idempotent(self, path):
+        store = FileBlockStore.create(path, block_size=64)
+        store.close()
+        store.close()

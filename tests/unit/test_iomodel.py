@@ -5,8 +5,9 @@ import math
 import pytest
 
 from repro.geometry.rect import Rect
-from repro.iomodel.blockstore import BlockStore
+from repro.iomodel.blockstore import BlockStore, FreedBlockError
 from repro.iomodel.cache import LRUCache
+from repro.iomodel.store import BlockStoreProtocol
 from repro.iomodel.codec import NodeCodec, entry_size, fanout_for_block
 from repro.iomodel.counters import IOCounters, IOSnapshot, TimeModel
 
@@ -111,8 +112,17 @@ class TestBlockStore:
         store = BlockStore()
         bid = store.allocate("a")
         store.free(bid)
-        with pytest.raises(KeyError):
+        with pytest.raises(FreedBlockError, match="read-after-free"):
             store.read(bid)
+
+    def test_free_then_write_and_peek_raise(self):
+        store = BlockStore()
+        bid = store.allocate("a")
+        store.free(bid)
+        with pytest.raises(FreedBlockError):
+            store.write(bid, "b")
+        with pytest.raises(FreedBlockError):
+            store.peek(bid)
 
     def test_free_unallocated_raises(self):
         store = BlockStore()
@@ -123,8 +133,21 @@ class TestBlockStore:
         store = BlockStore()
         bid = store.allocate("a")
         store.free(bid)
-        with pytest.raises(KeyError):
+        with pytest.raises(FreedBlockError, match="double free"):
             store.free(bid)
+
+    def test_freed_error_is_a_key_error(self):
+        # Callers catching the old generic error keep working.
+        assert issubclass(FreedBlockError, KeyError)
+
+    def test_read_never_allocated_is_plain_key_error(self):
+        store = BlockStore()
+        with pytest.raises(KeyError) as excinfo:
+            store.read(7)
+        assert not isinstance(excinfo.value, FreedBlockError)
+
+    def test_satisfies_store_protocol(self):
+        assert isinstance(BlockStore(), BlockStoreProtocol)
 
     def test_len_and_contains(self):
         store = BlockStore()

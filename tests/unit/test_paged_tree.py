@@ -1,0 +1,262 @@
+"""Unit tests for pack_tree, PagedNodeStore, and PagedTree."""
+
+import pytest
+
+from repro.bulk.hilbert import build_hilbert
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.iomodel.counters import IOCounters
+from repro.iomodel.store import BlockStoreProtocol
+from repro.prtree.prtree import build_prtree
+from repro.queries.knn import KNNEngine
+from repro.queries.point import PointQueryEngine
+from repro.rtree.persist import PersistError
+from repro.rtree.query import QueryEngine
+from repro.rtree.validate import validate_rtree
+from repro.storage import (
+    FileBlockStore,
+    PagedNodeStore,
+    PagedTree,
+    StorageError,
+    pack_tree,
+)
+
+from tests.conftest import assert_same_matches, random_rects, random_windows
+
+
+@pytest.fixture
+def packed(tmp_path):
+    """A PR-tree packed to disk, plus the in-memory original."""
+    data = random_rects(800, seed=21)
+    tree = build_prtree(BlockStore(), data, 16)
+    path = tmp_path / "index.pack"
+    stats = pack_tree(tree, path, block_size=4096)
+    return tree, path, stats, data
+
+
+class TestPackTree:
+    def test_stats_match_tree(self, packed):
+        tree, _, stats, _ = packed
+        assert stats.n_blocks == tree.node_count()
+        assert stats.size == tree.size
+        assert stats.height == tree.height
+        assert stats.file_bytes == 4096 + stats.n_blocks * 4096
+
+    def test_pack_is_sequential_io(self, tmp_path):
+        data = random_rects(300, seed=22)
+        tree = build_hilbert(BlockStore(), data, 8)
+        stats = pack_tree(tree, tmp_path / "seq.pack", block_size=512)
+        # Packing writes blocks 0..n-1 in order: one write per node, all
+        # but the first following its predecessor.
+        assert stats.write_ios == stats.n_blocks
+        assert stats.seq_writes == stats.n_blocks - 1
+
+    def test_fanout_too_large_for_block(self, tmp_path):
+        data = random_rects(400, seed=23)
+        tree = build_hilbert(BlockStore(), data, 200)  # 200 > 113
+        with pytest.raises(PersistError):
+            pack_tree(tree, tmp_path / "x.pack", block_size=4096)
+
+    def test_pack_single_leaf_tree(self, tmp_path):
+        data = random_rects(3, seed=24)
+        tree = build_prtree(BlockStore(), data, 16)
+        path = tmp_path / "leaf.pack"
+        pack_tree(tree, path)
+        with PagedTree.open(path, values=dict(tree.objects)) as paged:
+            validate_rtree(paged, expect_size=3)
+
+
+class TestPagedNodeStore:
+    def _store(self, path, capacity=4):
+        data = random_rects(300, seed=25)
+        tree = build_prtree(BlockStore(), data, 8)
+        pack_tree(tree, path, block_size=512)
+        file_store = FileBlockStore.open(path)
+        return PagedNodeStore(file_store, dim=2, capacity=capacity)
+
+    def test_satisfies_store_protocol(self, tmp_path):
+        store = self._store(tmp_path / "p.pack")
+        assert isinstance(store, BlockStoreProtocol)
+
+    def test_cache_bounded(self, tmp_path):
+        store = self._store(tmp_path / "p.pack", capacity=4)
+        for bid in list(store.block_ids())[:20]:
+            store.peek(bid)
+        assert store.cached_pages() <= 4
+        assert store.stats.evictions >= 16
+
+    def test_read_counts_even_on_page_hit(self, tmp_path):
+        store = self._store(tmp_path / "p.pack", capacity=4)
+        bid = next(store.block_ids())
+        store.read(bid)
+        store.read(bid)  # page hit, still one logical I/O
+        assert store.counters.reads == 2
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+
+    def test_peek_costs_no_logical_io(self, tmp_path):
+        store = self._store(tmp_path / "p.pack")
+        before = store.counters.total
+        store.peek(next(store.block_ids()))
+        assert store.counters.total == before
+
+    def test_zero_capacity_always_decodes(self, tmp_path):
+        store = self._store(tmp_path / "p.pack", capacity=0)
+        a, b = list(store.block_ids())[:2]
+        store.peek(a)
+        store.peek(b)
+        store.peek(a)  # the single pinned MRU slot now holds b
+        assert store.stats.misses == 3
+        assert store.cached_pages() == 0
+
+    def test_repeated_access_costs_one_physical_read_even_cold(self, tmp_path):
+        # Engines peek a node's kind then read the same block; that pair
+        # must cost one physical read even with no page cache at all.
+        store = self._store(tmp_path / "p.pack", capacity=0)
+        bid = next(store.block_ids())
+        store.peek(bid)
+        store.read(bid)
+        assert store.stats.misses == 1
+        assert store.counters.reads == 1
+
+    def test_zero_capacity_logical_equals_physical_io(self, tmp_path):
+        data = random_rects(300, seed=25)
+        tree = build_prtree(BlockStore(), data, 8)
+        path = tmp_path / "cold.pack"
+        pack_tree(tree, path, block_size=512)
+        with PagedTree.open(path, cache_pages=0) as paged:
+            engine = QueryEngine(paged, cache_internal=False)
+            for window in random_windows(3, seed=29):
+                engine.query(window)
+            totals = engine.totals
+            assert (
+                paged.page_stats.physical_reads
+                == totals.leaf_reads + totals.internal_reads
+            )
+
+    def test_clear_cache_goes_cold(self, tmp_path):
+        store = self._store(tmp_path / "p.pack")
+        bid = next(store.block_ids())
+        store.peek(bid)
+        store.clear_cache()
+        store.peek(bid)
+        assert store.stats.misses == 2
+
+    def test_write_roundtrips_through_codec(self, tmp_path):
+        store = self._store(tmp_path / "p.pack")
+        from repro.rtree.node import Node
+
+        bid = store.allocate(Node(True, [(Rect((0, 0), (1, 1)), 7)]))
+        store.clear_cache()
+        node = store.peek(bid)
+        assert node.is_leaf and node.entries == [(Rect((0, 0), (1, 1)), 7)]
+
+    def test_negative_capacity_rejected(self, tmp_path):
+        file_store = FileBlockStore.create(tmp_path / "n.fbs", block_size=512)
+        with pytest.raises(ValueError):
+            PagedNodeStore(file_store, dim=2, capacity=-1)
+        file_store.close()
+
+
+class TestPagedTree:
+    def test_open_is_lazy(self, packed):
+        _, path, stats, _ = packed
+        with PagedTree.open(path) as paged:
+            # Nothing is decoded until the first query touches the root.
+            assert paged.page_store.cached_pages() == 0
+            assert paged.page_stats.misses == 0
+
+    def test_structure_and_queries_match_original(self, packed):
+        tree, path, _, data = packed
+        with PagedTree.open(path, values=dict(tree.objects)) as paged:
+            assert paged.height == tree.height
+            assert paged.fanout == tree.fanout
+            assert paged.size == tree.size
+            assert paged.dim == tree.dim
+            validate_rtree(paged, expect_size=len(data))
+            mem = QueryEngine(tree)
+            disk = QueryEngine(paged)
+            for window in random_windows(10, seed=26):
+                got_mem, stats_mem = mem.query(window)
+                got_disk, stats_disk = disk.query(window)
+                assert_same_matches(got_disk, got_mem)
+                assert stats_disk.leaf_reads == stats_mem.leaf_reads
+                assert stats_disk.internal_visits == stats_mem.internal_visits
+
+    def test_knn_and_point_match_original(self, packed):
+        tree, path, _, _ = packed
+        with PagedTree.open(path, values=dict(tree.objects)) as paged:
+            got_mem, _ = KNNEngine(tree).knn((0.4, 0.6), 12)
+            got_disk, _ = KNNEngine(paged).knn((0.4, 0.6), 12)
+            assert [n.distance for n in got_mem] == [
+                n.distance for n in got_disk
+            ]
+            pm, _ = PointQueryEngine(tree).point_query((0.5, 0.5))
+            pd, _ = PointQueryEngine(paged).point_query((0.5, 0.5))
+            assert_same_matches(pd, pm)
+
+    def test_bounded_cache_still_correct(self, packed):
+        tree, path, _, data = packed
+        with PagedTree.open(
+            path, values=dict(tree.objects), cache_pages=2
+        ) as paged:
+            engine = QueryEngine(paged)
+            for window in random_windows(5, seed=27):
+                got, _ = engine.query(window)
+                want, _ = QueryEngine(tree).query(window)
+                assert_same_matches(got, want)
+            assert paged.page_store.cached_pages() <= 2
+
+    def test_values_via_callable(self, packed):
+        tree, path, _, _ = packed
+        with PagedTree.open(path, values=lambda oid: f"v{oid}") as paged:
+            matches, _ = QueryEngine(paged).query(Rect((0, 0), (1, 1)))
+            assert len(matches) == tree.size
+            assert sorted(v for _, v in matches) == sorted(
+                f"v{oid}" for oid in tree.objects
+            )
+
+    def test_missing_values_are_none(self, packed):
+        tree, path, _, _ = packed
+        with PagedTree.open(path) as paged:
+            matches, _ = QueryEngine(paged).query(Rect((0, 0), (1, 1)))
+            assert matches and all(v is None for _, v in matches)
+
+    def test_register_object_does_not_collide(self, packed):
+        tree, path, _, _ = packed
+        with PagedTree.open(path, values=dict(tree.objects)) as paged:
+            assert paged.register_object("fresh") == tree.size
+
+    def test_warm_cache_reduces_physical_reads(self, packed):
+        tree, path, _, _ = packed
+        with PagedTree.open(path, values=dict(tree.objects)) as paged:
+            engine = QueryEngine(paged)
+            windows = random_windows(5, seed=28)
+            for window in windows:
+                engine.query(window)
+            cold = paged.page_stats.snapshot()
+            for window in windows:
+                engine.query(window)
+            warm = paged.page_stats - cold
+            assert warm.misses < cold.misses
+            # Logical I/O is unchanged: the page cache is invisible to
+            # the paper's accounting.
+            assert engine.totals.queries == 10
+
+    def test_shared_counters(self, packed):
+        tree, path, _, _ = packed
+        counters = IOCounters()
+        with PagedTree.open(path, counters=counters) as paged:
+            QueryEngine(paged).query(Rect((0.4, 0.4), (0.6, 0.6)))
+            assert counters.reads > 0
+
+    def test_open_non_tree_file(self, tmp_path):
+        path = tmp_path / "plain.fbs"
+        with FileBlockStore.create(path, block_size=512, meta=b"not a tree"):
+            pass
+        with pytest.raises(StorageError, match="packed tree"):
+            PagedTree.open(path)
+
+    def test_open_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            PagedTree.open(tmp_path / "missing.pack")

@@ -91,5 +91,54 @@ class TestErrors:
     def test_bad_magic(self):
         image = bytearray(serialize_tree(self._tree()))
         image[:4] = b"XXXX"
-        with pytest.raises(PersistError):
+        with pytest.raises(PersistError, match="bad magic"):
             deserialize_tree(bytes(image), BlockStore())
+
+    def _corrupt_superblock(self, **overrides):
+        """Re-pack the superblock of a valid image with fields overridden."""
+        import struct
+
+        from repro.rtree.persist import _SUPERBLOCK, _SUPERBLOCK_BYTES
+
+        image = bytearray(serialize_tree(self._tree()))
+        fields = list(struct.unpack_from(_SUPERBLOCK, image, 0))
+        names = [
+            "magic", "dim", "block_size", "fanout",
+            "height", "size", "n_blocks", "root_index",
+        ]
+        for name, value in overrides.items():
+            fields[names.index(name)] = value
+        struct.pack_into(_SUPERBLOCK, image, 0, *fields)
+        return bytes(image)
+
+    def test_block_size_mismatch_vs_store(self):
+        image = serialize_tree(self._tree(), block_size=4096)
+        with pytest.raises(PersistError, match="block"):
+            deserialize_tree(image, BlockStore(block_size=8192))
+
+    def test_zero_dim_rejected(self):
+        image = self._corrupt_superblock(dim=0)
+        with pytest.raises(PersistError, match="dimension"):
+            deserialize_tree(image, BlockStore())
+
+    def test_huge_dim_rejected(self):
+        # 200-d entries don't fit a 4 KB block at all.
+        image = self._corrupt_superblock(dim=200)
+        with pytest.raises(PersistError):
+            deserialize_tree(image, BlockStore())
+
+    def test_fanout_below_two_rejected(self):
+        image = self._corrupt_superblock(fanout=1)
+        with pytest.raises(PersistError, match="fan-out"):
+            deserialize_tree(image, BlockStore())
+
+    def test_fanout_exceeding_block_capacity_rejected(self):
+        # 4 KB blocks hold at most 113 two-dimensional entries.
+        image = self._corrupt_superblock(fanout=500)
+        with pytest.raises(PersistError, match="fan-out"):
+            deserialize_tree(image, BlockStore())
+
+    def test_dangling_root_index(self):
+        image = self._corrupt_superblock(root_index=10**6)
+        with pytest.raises(PersistError, match="root"):
+            deserialize_tree(image, BlockStore())

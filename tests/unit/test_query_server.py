@@ -1,0 +1,254 @@
+"""Unit tests for the batched query server."""
+
+import pytest
+
+from repro.bulk.hilbert import build_hilbert
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.prtree import build_prtree
+from repro.queries.join import SpatialJoinEngine
+from repro.queries.knn import KNNEngine
+from repro.queries.point import PointQueryEngine
+from repro.rtree.query import QueryEngine
+from repro.server import (
+    ContainmentRequest,
+    CountRequest,
+    JoinRequest,
+    KNNRequest,
+    PointRequest,
+    QueryServer,
+    WindowRequest,
+)
+from repro.storage import PagedTree, pack_tree
+
+from tests.conftest import assert_same_matches, random_rects, random_windows
+
+
+@pytest.fixture(scope="module")
+def trees():
+    data_a = random_rects(1200, seed=31)
+    data_b = random_rects(300, seed=32)
+    a = build_prtree(BlockStore(), data_a, 16)
+    b = build_hilbert(BlockStore(), data_b, 16)
+    return a, b
+
+
+@pytest.fixture
+def server(trees):
+    a, b = trees
+    return QueryServer({"a": a, "b": b})
+
+
+class TestCatalog:
+    def test_single_tree_served_as_default(self, trees):
+        a, _ = trees
+        server = QueryServer(a)
+        report = server.submit([WindowRequest(Rect((0, 0), (1, 1)))])
+        assert len(report.results) == 1
+        assert len(report.results[0].value) == a.size
+
+    def test_unknown_index_raises(self, server):
+        with pytest.raises(KeyError, match="no index named"):
+            server.submit([WindowRequest(Rect((0, 0), (1, 1)), index="zz")])
+
+    def test_attach_replaces(self, trees, server):
+        a, _ = trees
+        server.attach("c", a)
+        report = server.submit(
+            [CountRequest(Rect((0, 0), (1, 1)), index="c")]
+        )
+        assert report.results[0].value == a.size
+
+    def test_invalid_workers(self, trees):
+        with pytest.raises(ValueError):
+            QueryServer(trees[0], workers=0)
+
+    def test_index_named_join_is_not_special(self, trees):
+        a, _ = trees
+        server = QueryServer({"join": a})
+        report = server.submit(
+            [
+                WindowRequest(Rect((0, 0), (1, 1)), index="join"),
+                JoinRequest("join", "join"),
+            ]
+        )
+        assert len(report.results[0].value) == a.size
+        assert report.results[1].value  # the self-join reports pairs
+
+    def test_attach_evicts_only_that_index_engines(self, trees, server):
+        a, b = trees
+        windows = random_windows(2, seed=47)
+        server.submit([WindowRequest(w, index="a") for w in windows])
+        server.submit([WindowRequest(w, index="b") for w in windows])
+        server.attach("a", b)  # replace "a"; "b" engines must stay warm
+        warm_b = server.submit([WindowRequest(w, index="b") for w in windows])
+        assert warm_b.internal_reads == 0
+        fresh_a = server.submit([WindowRequest(w, index="a") for w in windows])
+        assert fresh_a.results[0].value is not None
+
+
+class TestResultsMatchEngines:
+    def test_window(self, trees, server):
+        a, _ = trees
+        windows = random_windows(8, seed=33)
+        report = server.submit(
+            [WindowRequest(w, index="a") for w in windows]
+        )
+        engine = QueryEngine(a)
+        for window, result in zip(windows, report.results):
+            want, _ = engine.query(window)
+            assert_same_matches(result.value, want)
+
+    def test_point_and_containment_and_count(self, trees, server):
+        a, _ = trees
+        window = random_windows(1, seed=34)[0]
+        point = (0.45, 0.55)
+        report = server.submit(
+            [
+                PointRequest(point, index="a"),
+                ContainmentRequest(window, index="a"),
+                CountRequest(window, index="a"),
+            ]
+        )
+        engine = PointQueryEngine(a)
+        want_point, _ = engine.point_query(point)
+        want_contained, _ = engine.containment_query(window)
+        want_count, _ = engine.count(window)
+        assert_same_matches(report.results[0].value, want_point)
+        assert_same_matches(report.results[1].value, want_contained)
+        assert report.results[2].value == want_count
+
+    def test_knn(self, trees, server):
+        a, _ = trees
+        report = server.submit([KNNRequest((0.3, 0.3), k=7, index="a")])
+        want, _ = KNNEngine(a).knn((0.3, 0.3), 7)
+        got = report.results[0].value
+        assert [n.distance for n in got] == [n.distance for n in want]
+
+    def test_join(self, trees, server):
+        a, b = trees
+        report = server.submit([JoinRequest("a", "b")])
+        want, _ = SpatialJoinEngine(a, b).join()
+        assert len(report.results[0].value) == len(want)
+
+    def test_mixed_batch_keeps_submission_order(self, trees, server):
+        windows = random_windows(5, seed=35)
+        requests = []
+        for w in windows:
+            requests.append(WindowRequest(w, index="a"))
+            requests.append(CountRequest(w, index="b"))
+            requests.append(KNNRequest(tuple(w.center()), k=3, index="a"))
+        report = server.submit(requests)
+        assert [r.request for r in report.results] == requests
+
+
+class TestDedup:
+    def test_duplicates_execute_once(self, server):
+        window = random_windows(1, seed=36)[0]
+        request = WindowRequest(window, index="a")
+        report = server.submit([request] * 10)
+        assert report.requests == 10
+        assert report.executed == 1
+        assert report.dedup_hits == 9
+        first, *rest = report.results
+        assert not first.deduped
+        assert all(r.deduped for r in rest)
+        assert all(r.value is first.value for r in rest)
+
+    def test_dedup_disabled_runs_every_occurrence(self, trees):
+        a, _ = trees
+        server = QueryServer({"a": a}, dedup=False)
+        window = random_windows(1, seed=37)[0]
+        report = server.submit([WindowRequest(window, index="a")] * 4)
+        assert report.executed == 4
+        assert report.dedup_hits == 0
+
+    def test_dedup_batch_leaf_ios_counted_once(self, trees):
+        a, _ = trees
+        window = random_windows(1, seed=38)[0]
+        once = QueryServer({"a": a}).submit([WindowRequest(window, "a")])
+        many = QueryServer({"a": a}).submit([WindowRequest(window, "a")] * 6)
+        assert many.leaf_ios == once.leaf_ios
+
+
+class TestLocalityAndStats:
+    def test_reorder_improves_page_cache_on_tiny_cache(self, tmp_path):
+        data = random_rects(3000, seed=39)
+        tree = build_prtree(BlockStore(), data, 8)
+        path = tmp_path / "t.pack"
+        pack_tree(tree, path, block_size=512)
+        windows = random_windows(120, seed=40, side=0.08)
+        requests = [WindowRequest(w) for w in windows]
+
+        def physical(reorder):
+            paged = PagedTree.open(
+                path, values=dict(tree.objects), cache_pages=24
+            )
+            try:
+                server = QueryServer(paged, reorder=reorder)
+                return server.submit(requests).physical_reads
+            finally:
+                paged.close()
+
+        assert physical(True) <= physical(False)
+
+    def test_logical_ios_independent_of_reorder(self, trees):
+        a, _ = trees
+        windows = random_windows(20, seed=41)
+        requests = [WindowRequest(w, index="a") for w in windows]
+        plain = QueryServer({"a": a}, reorder=False).submit(requests)
+        sorted_ = QueryServer({"a": a}, reorder=True).submit(requests)
+        assert plain.leaf_ios == sorted_.leaf_ios
+        assert plain.reported == sorted_.reported
+
+    def test_batch_report_aggregates(self, server):
+        windows = random_windows(6, seed=42)
+        report = server.submit([WindowRequest(w, index="a") for w in windows])
+        assert report.leaf_ios == sum(
+            r.stats.leaf_reads for r in report.results
+        )
+        assert report.reported == sum(
+            len(r.value) for r in report.results
+        )
+        assert report.latency_s > 0
+        assert report.throughput_rps > 0
+
+    def test_physical_reads_zero_for_in_memory_trees(self, server):
+        report = server.submit(
+            [WindowRequest(w, index="a") for w in random_windows(3, seed=43)]
+        )
+        assert report.physical_reads == 0
+
+    def test_engines_stay_warm_across_batches(self, trees):
+        a, _ = trees
+        server = QueryServer({"a": a})
+        windows = random_windows(4, seed=44)
+        first = server.submit([WindowRequest(w, index="a") for w in windows])
+        second = server.submit([WindowRequest(w, index="a") for w in windows])
+        # Internal nodes were pooled by the first batch.
+        assert second.internal_reads == 0
+        assert first.internal_reads >= second.internal_reads
+        assert server.batches_served == 2
+
+
+class TestWorkers:
+    def test_threaded_matches_serial(self, tmp_path):
+        data = random_rects(2000, seed=45)
+        tree = build_prtree(BlockStore(), data, 16)
+        path = tmp_path / "w.pack"
+        pack_tree(tree, path)
+        windows = random_windows(30, seed=46)
+        requests = []
+        for w in windows:
+            requests.append(WindowRequest(w))
+            requests.append(CountRequest(w))
+            requests.append(KNNRequest(tuple(w.center()), k=4))
+        with PagedTree.open(path, values=dict(tree.objects)) as paged:
+            serial = QueryServer(paged, workers=1).submit(requests)
+            threaded = QueryServer(paged, workers=4).submit(requests)
+            assert serial.leaf_ios == threaded.leaf_ios
+            for s, t in zip(serial.results, threaded.results):
+                if isinstance(s.value, list):
+                    assert len(s.value) == len(t.value)
+                else:
+                    assert s.value == t.value
