@@ -57,6 +57,8 @@ from repro.server import (
     BatchReport,
     ContainmentRequest,
     CountRequest,
+    DeleteRequest,
+    InsertRequest,
     JoinRequest,
     KNNRequest,
     PointRequest,
@@ -124,4 +126,6 @@ __all__ = [
     "PointRequest",
     "KNNRequest",
     "JoinRequest",
+    "InsertRequest",
+    "DeleteRequest",
 ]

@@ -8,12 +8,16 @@ Usage (installed or from a checkout)::
     python -m repro run all --out results/
     python -m repro pack index.pack --variant PR --n 50000
     python -m repro serve-bench --index index.pack --requests 1000
+    python -m repro update-bench --updates 1000 --n 20000
 
 ``run all`` executes every experiment with its defaults and writes each
 rendered table to the output directory (or stdout when none is given).
 ``pack`` bulk-loads a variant and writes it to an on-disk index file;
 ``serve-bench`` reopens such a file as a lazily paged tree and drives a
-mixed batched workload through the query server.
+mixed batched workload through the query server; ``update-bench``
+measures dynamic inserts/deletes on a packed index (dirty-page
+write-back) and the post-update query degradation versus a fresh
+bulk-load.
 """
 
 from __future__ import annotations
@@ -38,7 +42,12 @@ from repro.experiments.operators import (
     point_experiment,
 )
 from repro.experiments.report import Table
-from repro.experiments.serving import DATASETS, pack_index, serve_bench
+from repro.experiments.serving import (
+    DATASETS,
+    pack_index,
+    serve_bench,
+    update_bench,
+)
 from repro.experiments.tables import table1, theorem3_demo
 from repro.external.memory import MemoryModel
 
@@ -167,6 +176,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="block size of the temporary index (no --index)",
     )
     serve.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    update = sub.add_parser(
+        "update-bench",
+        help=(
+            "measure dynamic inserts/deletes on a packed index "
+            "(dirty-page write-back) and post-update query degradation"
+        ),
+    )
+    update.add_argument(
+        "--updates", type=int, default=1000, help="total inserts + deletes"
+    )
+    update.add_argument(
+        "--queries",
+        type=int,
+        default=100,
+        help="window queries per measurement phase",
+    )
+    update.add_argument(
+        "--batch-size",
+        dest="batch_size",
+        type=int,
+        default=250,
+        help="updates per server batch",
+    )
+    update.add_argument(
+        "--cache-pages",
+        dest="cache_pages",
+        type=int,
+        default=256,
+        help="decoded-page budget of the LRU page cache",
+    )
+    update.add_argument(
+        "--variant", default="PR", choices=["H", "H4", "PR", "TGS", "STR"],
+        help="bulk loader for the packed index (default PR)",
+    )
+    update.add_argument(
+        "--dataset", default="tiger-east", choices=sorted(DATASETS),
+        help="dataset family",
+    )
+    update.add_argument("--n", type=int, default=20_000, help="dataset size")
+    update.add_argument(
+        "--block-size", dest="block_size", type=int, default=4096,
+        help="bytes per block (default 4096, the paper's)",
+    )
+    update.add_argument("--seed", type=int, default=0, help="workload seed")
     return parser
 
 
@@ -228,6 +282,21 @@ def main(argv: list[str] | None = None) -> int:
             batch_size=args.batch_size,
             cache_pages=args.cache_pages,
             workers=args.workers,
+            variant=args.variant,
+            dataset=args.dataset,
+            n=args.n,
+            block_size=args.block_size,
+            seed=args.seed,
+        )
+        print(table.render())
+        return 0
+
+    if args.command == "update-bench":
+        table = update_bench(
+            updates=args.updates,
+            queries=args.queries,
+            batch_size=args.batch_size,
+            cache_pages=args.cache_pages,
             variant=args.variant,
             dataset=args.dataset,
             n=args.n,

@@ -1,7 +1,7 @@
-"""Storage-engine experiments: packing indexes and batch serving.
+"""Storage-engine experiments: packing, batch serving, and updates.
 
-Two entry points behind the ``repro pack`` and ``repro serve-bench``
-CLI subcommands:
+Three entry points behind the ``repro pack``, ``repro serve-bench`` and
+``repro update-bench`` CLI subcommands:
 
 * :func:`pack_index` — bulk-load one variant on the chosen dataset and
   write it to an index file with :func:`repro.storage.paged.pack_tree`,
@@ -14,6 +14,13 @@ CLI subcommands:
   batches revisit earlier query regions, so physical reads fall as the
   page cache warms while the logical I/O per request stays flat — the
   storage-engine counterpart of the paper's cached-internal-nodes setup.
+* :func:`update_bench` — pack an index, reopen it writable, and apply a
+  mixed insert/delete stream through the server's write path,
+  reporting per-batch logical write I/O versus physical pages flushed
+  (the dirty-page write-back saving) and the post-update query
+  degradation against a fresh bulk-load of the same final data — the
+  paper's observation that O(log_B N) updates do not maintain query
+  efficiency, measured.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import pathlib
 import random
 import tempfile
 import time
+from collections import Counter
 
 from repro.datasets.synthetic import uniform_rects
 from repro.datasets.tiger import tiger_dataset
@@ -29,10 +37,14 @@ from repro.experiments.harness import build_variant
 from repro.experiments.report import Table
 from repro.geometry.rect import Rect
 from repro.iomodel.codec import fanout_for_block
+from repro.rtree.query import QueryEngine
+from repro.rtree.validate import validate_rtree
 from repro.server import (
     DEFAULT_INDEX,
     ContainmentRequest,
     CountRequest,
+    DeleteRequest,
+    InsertRequest,
     KNNRequest,
     PointRequest,
     QueryServer,
@@ -42,7 +54,14 @@ from repro.server import (
 from repro.storage import PagedTree, pack_tree
 from repro.workloads.queries import square_queries
 
-__all__ = ["pack_index", "serve_bench", "mixed_requests", "DATASETS"]
+__all__ = [
+    "pack_index",
+    "serve_bench",
+    "update_bench",
+    "mixed_requests",
+    "mixed_update_requests",
+    "DATASETS",
+]
 
 #: Dataset generators accepted by ``repro pack`` / ``repro serve-bench``.
 DATASETS = {
@@ -228,3 +247,172 @@ def serve_bench(
     finally:
         if tmpdir is not None:
             tmpdir.cleanup()
+
+
+def mixed_update_requests(
+    data: list,
+    fresh: list,
+    delete_frac: float = 0.5,
+    seed: int = 0,
+    index: str = DEFAULT_INDEX,
+) -> tuple[list[Request], list]:
+    """A reproducible mixed write stream over an existing dataset.
+
+    Draws deletes from ``data`` (each entry at most once) and inserts
+    from ``fresh``, shuffled with ``delete_frac`` deletes.  Returns the
+    request list plus the expected live ``(rect, value)`` set after
+    applying it — the oracle for post-update query checks.
+    """
+    rng = random.Random(seed)
+    deletable = list(data)
+    rng.shuffle(deletable)
+    insertable = list(fresh)
+    requests: list[Request] = []
+    removed: Counter = Counter()
+    inserted: list = []
+    while deletable or insertable:
+        use_delete = deletable and (
+            not insertable or rng.random() < delete_frac
+        )
+        if use_delete:
+            rect, value = deletable.pop()
+            removed[(rect, value)] += 1
+            requests.append(DeleteRequest(rect, value, index=index))
+        else:
+            rect, value = insertable.pop()
+            inserted.append((rect, value))
+            requests.append(InsertRequest(rect, value, index=index))
+    # One tree entry disappears per DeleteRequest, so a duplicated
+    # (rect, value) pair leaves the live set only as often as it was
+    # drawn — not wholesale.
+    live = []
+    for pair in data:
+        if removed[pair] > 0:
+            removed[pair] -= 1
+            continue
+        live.append(pair)
+    return requests, live + inserted
+
+
+def update_bench(
+    updates: int = 1000,
+    queries: int = 100,
+    batch_size: int = 250,
+    cache_pages: int = 256,
+    variant: str = "PR",
+    dataset: str = "tiger-east",
+    n: int = 20_000,
+    fanout: int | None = None,
+    block_size: int = 4096,
+    area_percent: float = 0.25,
+    seed: int = 0,
+) -> Table:
+    """Measure dynamic updates on a packed index and their query cost.
+
+    Packs a bulk-loaded ``variant`` to a temporary index file, reopens
+    it as a writable paged tree, and drives ``updates`` mixed
+    inserts/deletes through the batched :class:`QueryServer` — the
+    write-back page layer turns every batch's logical write I/Os into
+    one physical write per distinct dirty page (reported per batch).
+    The same window workload is measured three times: on the freshly
+    bulk-loaded index, after the updates (the paper's point that
+    updates do not maintain query efficiency), and on a fresh bulk-load
+    of the *final* dataset — the re-pack baseline the degradation is
+    judged against.  The updated tree is validated and compared
+    entry-for-entry against an in-memory oracle holding the same data.
+    """
+    if dataset not in DATASETS:
+        raise ValueError(
+            f"unknown dataset {dataset!r}; choose from {sorted(DATASETS)}"
+        )
+    if fanout is None:
+        fanout = fanout_for_block(block_size, 2)
+    data = DATASETS[dataset](n, seed)
+    fresh = DATASETS[dataset](updates, seed + 7919)
+    half = updates // 2
+    stream_data, stream_fresh = data, fresh[: updates - half]
+
+    table = Table(
+        title=(
+            f"update-bench: {updates} mixed inserts/deletes on a packed "
+            f"{variant} index ({dataset}, n={n})"
+        ),
+        headers=[
+            "phase", "ops", "write_ios", "pages_flushed",
+            "leaf_ios", "ios_per_query", "latency_ms",
+        ],
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-update-") as tmpdir:
+        path = pathlib.Path(tmpdir) / "index.pack"
+        mem_tree = build_variant(variant, data, fanout)
+        pack_tree(mem_tree, path, block_size=block_size)
+
+        with PagedTree.open(
+            path, values=dict(mem_tree.objects), cache_pages=cache_pages
+        ) as tree:
+            server = QueryServer(tree)
+            bounds = tree.root().mbr()
+            windows = square_queries(
+                bounds, area_percent, count=queries, seed=seed + 1
+            ).windows
+
+            def query_phase(target, label: str) -> None:
+                engine = QueryEngine(target)
+                start = time.perf_counter()
+                for window in windows:
+                    engine.query(window)
+                elapsed = time.perf_counter() - start
+                table.add_row(
+                    label,
+                    len(windows),
+                    0,
+                    0,
+                    engine.totals.leaf_reads,
+                    engine.totals.leaf_reads / max(1, len(windows)),
+                    elapsed * 1000.0,
+                )
+
+            query_phase(tree, "bulk-loaded query")
+
+            # Draw deletes from only part of the dataset so the stream
+            # has `half` deletes and the rest inserts.
+            requests, live = mixed_update_requests(
+                stream_data[:half] if half else [],
+                stream_fresh,
+                seed=seed + 2,
+            )
+            live = live + stream_data[half:]
+            total_write_ios = 0
+            total_flushed = 0
+            for b in range(0, len(requests), batch_size):
+                batch = requests[b : b + batch_size]
+                report = server.submit(batch)
+                total_write_ios += report.write_ios
+                total_flushed += report.pages_flushed
+                table.add_row(
+                    f"update batch {b // batch_size}",
+                    report.writes,
+                    report.write_ios,
+                    report.pages_flushed,
+                    0,
+                    0,
+                    report.latency_s * 1000.0,
+                )
+
+            validate_rtree(tree, expect_size=len(live))
+            query_phase(tree, "post-update query")
+
+        fresh_tree = build_variant(variant, live, fanout)
+        query_phase(fresh_tree, "fresh bulk-load query")
+
+    table.add_note(
+        f"write-back: {total_write_ios} logical write I/Os became "
+        f"{total_flushed} physical page writes "
+        f"({total_flushed / max(1, total_write_ios):.2%} of write-through)"
+    )
+    table.add_note(
+        "post-update vs fresh bulk-load = query degradation left behind "
+        "by the standard R-tree update algorithms (paper Section 1.2)"
+    )
+    return table

@@ -109,6 +109,13 @@ class TraversalEngine:
         self.totals = QueryStats()
 
     def _read(self, block_id: int, stats: QueryStats):
+        # A warm internal node is answered from the engine's own pool
+        # without touching the store at all — the store-level peek below
+        # would otherwise cost a physical decode on paged stores whose
+        # page cache no longer holds the block.
+        if self.cache_internal and block_id in self._cache:
+            stats.internal_visits += 1
+            return self._cache.get(block_id)
         # The root's leafness is known from tree height; for everything else
         # the parent knew whether its children are leaves only implicitly, so
         # peek at the node kind first (metadata, not a counted access) and

@@ -144,6 +144,30 @@ class RTree:
         return sum(1 for _ in self.iter_leaves())
 
     # ------------------------------------------------------------------
+    # Convenience updating (the standard dynamic algorithms)
+    # ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, value: Any) -> int:
+        """Insert a data rectangle (Guttman); returns the object id.
+
+        Delegates to :func:`repro.rtree.update.insert`; use that module
+        directly to choose a different node splitter.
+        """
+        from repro.rtree.update import insert
+
+        return insert(self, rect, value)
+
+    def delete(self, rect: Rect, value: Any) -> bool:
+        """Delete one data rectangle equal to ``rect`` with ``value``.
+
+        Delegates to :func:`repro.rtree.update.delete`; returns True
+        when a matching entry was found and removed.
+        """
+        from repro.rtree.update import delete
+
+        return delete(self, rect, value)
+
+    # ------------------------------------------------------------------
     # Convenience querying
     # ------------------------------------------------------------------
 

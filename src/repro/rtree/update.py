@@ -141,7 +141,10 @@ def delete(tree: RTree, rect: Rect, value: Any) -> bool:
 
     Returns True when an entry was found and removed.  Matching compares
     the stored value by equality; passing the value returned at insert
-    time (or by a query) deletes that entry.
+    time (or by a query) deletes that entry.  When several stored
+    entries carry the same ``(rect, value)`` pair, exactly one is
+    removed per call — the first match in the deterministic
+    find-leaf traversal order.
     """
     found = _find_leaf(tree, rect, value)
     if found is None:
@@ -149,9 +152,11 @@ def delete(tree: RTree, rect: Rect, value: Any) -> bool:
     path, leaf_id, leaf, entry_idx = found
     oid = leaf.entries[entry_idx][1]
     del leaf.entries[entry_idx]
+    _condense_tree(tree, path, leaf_id, leaf)
+    # Bookkeeping last: a condense that fails must not leave the size
+    # or object table claiming the entry was removed.
     tree.objects.pop(oid, None)
     tree.size -= 1
-    _condense_tree(tree, path, leaf_id, leaf)
     return True
 
 
@@ -202,6 +207,25 @@ def _condense_tree(
 
     tree.write_node(current_id, current)
 
+    # An internal root can be left empty when its entire remaining
+    # subtree dissolved; restart from an empty leaf root so reinsertion
+    # has somewhere to descend.
+    root = tree.store.peek(tree.root_id)
+    if not root.is_leaf and not root.entries:
+        tree.store.free(tree.root_id)
+        tree.root_id = tree.store.allocate(Node(is_leaf=True))
+        tree.height = 1
+
+    # Reinsert orphans at their original level (leaf entries at level 0,
+    # subtree entries higher up) *before* any root collapse, while
+    # tree.height still matches the levels the orphans were recorded
+    # against — collapsing first can shrink the tree below an orphan's
+    # level and graft a subtree pointer at the wrong depth, corrupting
+    # the tree.  Reinsertion can itself split nodes and grow the root.
+    for entries, entry_level in orphans:
+        for rect, pointer in entries:
+            _reinsert(tree, rect, pointer, entry_level)
+
     # Root collapse: an internal root with one child is replaced by it.
     while True:
         root = tree.store.peek(tree.root_id)
@@ -212,9 +236,20 @@ def _condense_tree(
         tree.store.free(old_root_id)
         tree.height -= 1
 
-    # Reinsert orphans at their original level (leaf entries at level 0,
-    # subtree entries higher up).  Reinsertion can itself split nodes.
-    for entries, entry_level in orphans:
-        for rect, pointer in entries:
-            target = min(entry_level, tree.height - 1)
-            _insert_at_level(tree, rect, pointer, target, quadratic_split)
+
+def _reinsert(tree: RTree, rect: Rect, pointer: int, level: int) -> None:
+    """Reinsert one orphaned entry at ``level`` (0 = leaf entries).
+
+    When the tree is shorter than the orphan's level (the root chain
+    above it collapsed into an empty leaf), the orphan subtree cannot be
+    grafted whole; dissolve it into its children and reinsert those one
+    level further down instead.
+    """
+    if level <= tree.height - 1:
+        _insert_at_level(tree, rect, pointer, level, quadratic_split)
+        return
+    node = tree.read_node(pointer)
+    children = list(node.entries)
+    tree.store.free(pointer)
+    for child_rect, child_pointer in children:
+        _reinsert(tree, child_rect, child_pointer, level - 1)

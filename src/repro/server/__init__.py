@@ -4,7 +4,7 @@ The storage engine (:mod:`repro.storage`) makes an index file queryable
 without holding the tree in memory; this package adds the serving layer
 on top: a :class:`~repro.server.server.QueryServer` that fronts a
 catalog of named trees and executes *batches* of mixed
-window/point/containment/count/kNN/join requests — deduplicated,
+window/point/containment/count/kNN/join/insert/delete requests — deduplicated,
 reordered along the Hilbert curve for page-cache locality, executed
 over shared warm engines, and reported with per-batch latency, logical
 I/O, and physical page reads.
@@ -14,11 +14,14 @@ from repro.server.requests import (
     DEFAULT_INDEX,
     ContainmentRequest,
     CountRequest,
+    DeleteRequest,
+    InsertRequest,
     JoinRequest,
     KNNRequest,
     PointRequest,
     Request,
     RequestResult,
+    UpdateStats,
     WindowRequest,
 )
 from repro.server.server import BatchReport, QueryServer
@@ -33,6 +36,9 @@ __all__ = [
     "PointRequest",
     "KNNRequest",
     "JoinRequest",
+    "InsertRequest",
+    "DeleteRequest",
+    "UpdateStats",
     "RequestResult",
     "DEFAULT_INDEX",
 ]

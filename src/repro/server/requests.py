@@ -15,7 +15,14 @@ count        :class:`~repro.queries.point.PointQueryEngine.count`
 point        :class:`~repro.queries.point.PointQueryEngine.point_query`
 knn          :class:`~repro.queries.knn.KNNEngine.knn`
 join         :class:`~repro.queries.join.SpatialJoinEngine.join`
+insert       :func:`repro.rtree.update.insert` (write; never deduped)
+delete       :func:`repro.rtree.update.delete` (write; never deduped)
 ===========  ==========================================================
+
+The two *write* kinds are exempt from batch deduplication and locality
+reordering: two identical inserts mean two entries, and write order is
+semantics.  Within a batch, all writes are applied in submission order
+before any read executes (reads observe the post-write state).
 """
 
 from __future__ import annotations
@@ -34,6 +41,9 @@ __all__ = [
     "PointRequest",
     "KNNRequest",
     "JoinRequest",
+    "InsertRequest",
+    "DeleteRequest",
+    "UpdateStats",
     "RequestResult",
 ]
 
@@ -109,6 +119,59 @@ class KNNRequest(Request):
 
 
 @dataclass(frozen=True)
+class InsertRequest(Request):
+    """Insert one ``(rect, value)`` data rectangle into an index.
+
+    A write: executed exactly once per occurrence, in submission order,
+    before the batch's reads.  The result value is the assigned object
+    id.  ``value`` may be any object (unhashable values are fine —
+    writes never enter the dedup table).
+    """
+
+    rect: Rect
+    value: Any = None
+    index: str = DEFAULT_INDEX
+    kind: ClassVar[str] = "insert"
+
+
+@dataclass(frozen=True)
+class DeleteRequest(Request):
+    """Delete one data rectangle equal to ``rect`` whose value matches.
+
+    A write: executed exactly once per occurrence, in submission order,
+    before the batch's reads.  The result value is True when a matching
+    entry was found and removed; duplicates of the same ``(rect,
+    value)`` pair are removed one per request.
+    """
+
+    rect: Rect
+    value: Any = None
+    index: str = DEFAULT_INDEX
+    kind: ClassVar[str] = "delete"
+
+
+@dataclass
+class UpdateStats:
+    """I/O cost of one write request (logical, the paper's accounting).
+
+    ``reads``/``writes`` are the counted block I/Os the update
+    performed: the root-to-leaf descent plus written-back nodes, splits
+    and condense work.  Physical page writes are deferred by the
+    write-back layer and reported per batch
+    (:attr:`~repro.server.server.BatchReport.pages_flushed`), not per
+    request.
+    """
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def ios(self) -> int:
+        """Total logical block transfers of this update."""
+        return self.reads + self.writes
+
+
+@dataclass(frozen=True)
 class JoinRequest(Request):
     """Every intersecting data-rectangle pair between two indexes."""
 
@@ -128,8 +191,9 @@ class RequestResult:
     value:
         The operator's payload: ``(rect, value)`` matches for
         window/containment/point, an ``int`` for count, a list of
-        :class:`~repro.queries.knn.Neighbor` for knn, and a list of
-        pairs for join.
+        :class:`~repro.queries.knn.Neighbor` for knn, a list of pairs
+        for join, the assigned object id for insert, and a found
+        ``bool`` for delete.
     stats:
         The operator's own statistics object
         (:class:`~repro.rtree.query.QueryStats` or

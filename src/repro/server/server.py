@@ -18,6 +18,15 @@ executes each batch with three optimizations:
   across batches, keeping internal nodes cached exactly like the
   paper's repeated-query setup.
 
+Batches may also carry *writes* (:class:`~repro.server.requests.InsertRequest`
+/ :class:`~repro.server.requests.DeleteRequest`): they are applied in
+submission order before any read executes, never deduplicated or
+reordered, and — over a paged tree's dirty-page write-back store — cost
+one physical page write per distinct dirty page rather than one per
+logical write I/O.  Each batch reports its logical write I/O and the
+pages physically flushed (:attr:`BatchReport.write_ios` /
+:attr:`BatchReport.pages_flushed`).
+
 Execution is single-threaded by default (deterministic accounting);
 ``workers > 1`` runs independent request groups on a thread pool — safe
 over paged trees because the :class:`~repro.storage.paged.PagedNodeStore`
@@ -46,15 +55,21 @@ from repro.server.requests import (
     DEFAULT_INDEX,
     ContainmentRequest,
     CountRequest,
+    DeleteRequest,
+    InsertRequest,
     JoinRequest,
     KNNRequest,
     PointRequest,
     Request,
     RequestResult,
+    UpdateStats,
     WindowRequest,
 )
 
 __all__ = ["QueryServer", "BatchReport"]
+
+#: Request kinds that mutate an index.
+_WRITE_KINDS = (InsertRequest, DeleteRequest)
 
 
 @dataclass
@@ -75,6 +90,14 @@ class BatchReport:
     internal_reads: int = 0
     reported: int = 0
     physical_reads: int = 0
+    #: Write requests (insert/delete) applied by this batch.
+    writes: int = 0
+    #: Logical write I/Os the batch's updates performed.
+    write_ios: int = 0
+    #: Dirty pages physically encoded and written back during the batch
+    #: (evictions plus the post-write sync) — with write-back this is at
+    #: most the number of distinct dirty pages, not one per write I/O.
+    pages_flushed: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -96,7 +119,9 @@ class BatchReport:
     def __repr__(self) -> str:
         return (
             f"BatchReport(requests={self.requests}, executed={self.executed}, "
-            f"leaf_ios={self.leaf_ios}, physical_reads={self.physical_reads}, "
+            f"writes={self.writes}, leaf_ios={self.leaf_ios}, "
+            f"physical_reads={self.physical_reads}, "
+            f"pages_flushed={self.pages_flushed}, "
             f"latency={self.latency_s * 1000:.1f}ms)"
         )
 
@@ -127,6 +152,12 @@ class QueryServer:
         Thread count for executing independent request groups.  1
         (default) is serial and gives deterministic counter interleaving;
         more workers need the thread-safe paged read path.
+    sync_writes:
+        After a batch's writes are applied, ``sync()`` every mutated
+        index that supports it (paged trees flush their dirty pages and
+        rewrite the tree descriptor), so each batch is a consistency
+        point on disk.  Disable to let dirty pages accumulate across
+        batches (fewer physical writes, sync on close).
     """
 
     def __init__(
@@ -135,6 +166,7 @@ class QueryServer:
         dedup: bool = True,
         reorder: bool = True,
         workers: int = 1,
+        sync_writes: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -144,6 +176,7 @@ class QueryServer:
         self.dedup = dedup
         self.reorder = reorder
         self.workers = workers
+        self.sync_writes = sync_writes
         self.batches_served = 0
         self._engines: dict[tuple, Any] = {}
         self._bounds: dict[str, Rect | None] = {}
@@ -155,6 +188,14 @@ class QueryServer:
     def attach(self, name: str, tree: RTree) -> None:
         """Register (or replace) a named index."""
         self.indexes[name] = tree
+        self._invalidate(name)
+
+    def _invalidate(self, name: str) -> None:
+        """Drop warm engines and cached bounds that observed ``name``.
+
+        Called after writes: the engines' internal-node pools hold
+        decoded nodes from before the update and must be rebuilt.
+        """
         self._bounds.pop(name, None)
         stale = [
             k
@@ -233,6 +274,24 @@ class QueryServer:
     # Execution
     # ------------------------------------------------------------------
 
+    def _execute_write(self, request: Request) -> RequestResult:
+        """Apply one insert/delete, reporting its logical I/O cost."""
+        tree = self._tree(request.index)
+        start = time.perf_counter()
+        before = tree.store.counters.snapshot()
+        if isinstance(request, InsertRequest):
+            value: Any = tree.insert(request.rect, request.value)
+        else:
+            value = tree.delete(request.rect, request.value)
+        delta = tree.store.counters.snapshot() - before
+        latency = time.perf_counter() - start
+        return RequestResult(
+            request=request,
+            value=value,
+            stats=UpdateStats(reads=delta.reads, writes=delta.writes),
+            latency_s=latency,
+        )
+
     def _execute_one(self, request: Request) -> RequestResult:
         engine = self._engine(_group_key(request))
         start = time.perf_counter()
@@ -271,24 +330,54 @@ class QueryServer:
         return list(stores.values())
 
     def submit(self, requests: Sequence[Request]) -> BatchReport:
-        """Execute one batch and report results in submission order."""
+        """Execute one batch and report results in submission order.
+
+        Writes (insert/delete) are applied first, in submission order
+        and exempt from dedup/reordering; the batch's reads then
+        observe the post-write state.  When :attr:`sync_writes` is set,
+        every mutated index that supports ``sync()`` is flushed before
+        the reads run.
+        """
         start = time.perf_counter()
         report = BatchReport(requests=len(requests))
 
         page_stores = self._page_stores(requests)
         physical_before = sum(s.stats.misses for s in page_stores)
+        flushed_before = sum(s.stats.flushes for s in page_stores)
 
-        # Deduplicate while preserving first-occurrence order.
+        # Phase 1: writes, strictly in submission order, never deduped.
+        write_results: dict[int, RequestResult] = {}
+        mutated: set[str] = set()
+        for i, request in enumerate(requests):
+            if isinstance(request, _WRITE_KINDS):
+                write_results[i] = self._execute_write(request)
+                mutated.add(request.index)
+        for name in mutated:
+            # Warm engines hold pre-update nodes; rebuild them lazily.
+            self._invalidate(name)
+            if self.sync_writes:
+                tree = self._tree(name)
+                sync = getattr(tree, "sync", None)
+                if callable(sync):
+                    sync()
+
+        # Phase 2: reads — deduplicate while preserving first-occurrence
+        # order.
+        reads = [
+            (i, request)
+            for i, request in enumerate(requests)
+            if i not in write_results
+        ]
         if self.dedup:
             unique: "OrderedDict[Request, None]" = OrderedDict()
-            for request in requests:
+            for _, request in reads:
                 unique.setdefault(request, None)
             to_run: list[tuple[Any, Request]] = [
                 (request, request) for request in unique
             ]
         else:
             # Keyed by position so repeats execute individually.
-            to_run = [(i, request) for i, request in enumerate(requests)]
+            to_run = reads
 
         # Group for engine affinity and locality sorting.
         groups: "OrderedDict[tuple, list[tuple[Any, Request]]]" = OrderedDict()
@@ -312,10 +401,13 @@ class QueryServer:
             for entries in groups.values():
                 executed.update(run(entries))
 
-        # Reassemble in submission order; repeats of an executed request
+        # Reassemble in submission order; repeats of an executed read
         # share its payload and cost nothing further.
         emitted: set = set()
         for i, request in enumerate(requests):
+            if i in write_results:
+                report.results.append(write_results[i])
+                continue
             key = request if self.dedup else i
             done = executed[key]
             if key in emitted:
@@ -333,7 +425,10 @@ class QueryServer:
                 emitted.add(key)
                 report.results.append(done)
 
-        report.executed = len(executed)
+        report.executed = len(executed) + len(write_results)
+        report.writes = len(write_results)
+        for result in write_results.values():
+            report.write_ios += result.stats.writes
         for result in executed.values():
             stats = result.stats
             if hasattr(stats, "left"):  # JoinStats
@@ -349,6 +444,9 @@ class QueryServer:
 
         report.physical_reads = (
             sum(s.stats.misses for s in page_stores) - physical_before
+        )
+        report.pages_flushed = (
+            sum(s.stats.flushes for s in page_stores) - flushed_before
         )
         report.latency_s = time.perf_counter() - start
         self.batches_served += 1

@@ -240,8 +240,24 @@ class FileBlockStore:
         """Application-owned metadata stored in the header region."""
         return self._meta
 
-    def set_metadata(self, meta: bytes) -> None:
-        """Replace the metadata (persisted immediately)."""
+    @property
+    def readonly(self) -> bool:
+        """True when the file was opened without write access."""
+        return self._readonly
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def set_metadata(self, meta: bytes, persist: bool = True) -> None:
+        """Replace the metadata (persisted immediately by default).
+
+        ``persist=False`` only stages the bytes; the next
+        :meth:`flush`/:meth:`close` writes them — callers that flush
+        right after (e.g. a paged tree's ``sync``) avoid writing the
+        header region twice.
+        """
         if len(meta) > META_CAPACITY:
             raise ValueError(
                 f"metadata is {len(meta)} bytes, header region holds "
@@ -250,7 +266,8 @@ class FileBlockStore:
         with self._lock:
             self._check_writable()
             self._meta = bytes(meta)
-            self._write_header()
+            if persist:
+                self._write_header()
 
     # ------------------------------------------------------------------
     # Allocation
@@ -273,6 +290,20 @@ class FileBlockStore:
         if self._readonly:
             raise StorageError(f"{self.path} was opened read-only")
 
+    def _claim_locked(self) -> BlockId:
+        """Claim the next block address: freelist pop before file growth."""
+        if self._freelist_head != _NIL:
+            block_id = self._freelist_head
+            self._file.seek(self._offset(block_id))
+            (self._freelist_head,) = struct.unpack(
+                "<Q", self._file.read(8)
+            )
+            self._freed.discard(block_id)
+        else:
+            block_id = self._n_blocks
+            self._n_blocks += 1
+        return block_id
+
     def allocate(self, payload: bytes | None = None) -> BlockId:
         """Allocate a block and write ``payload``, counting one write.
 
@@ -281,20 +312,24 @@ class FileBlockStore:
         data = self._pad(payload)
         with self._lock:
             self._check_writable()
-            if self._freelist_head != _NIL:
-                block_id = self._freelist_head
-                self._file.seek(self._offset(block_id))
-                (self._freelist_head,) = struct.unpack(
-                    "<Q", self._file.read(8)
-                )
-                self._freed.discard(block_id)
-            else:
-                block_id = self._n_blocks
-                self._n_blocks += 1
+            block_id = self._claim_locked()
             self._file.seek(self._offset(block_id))
             self._file.write(data)
             self.counters.record_write(block_id)
         return block_id
+
+    def reserve(self) -> BlockId:
+        """Claim a block address without writing any payload bytes.
+
+        Pops the freelist (reusing freed space) before extending the
+        file, exactly like :meth:`allocate`, but performs **no counted
+        I/O**: the caller owns the block's bytes and writes them later —
+        the write-back page layer reserves on ``allocate`` and only
+        materializes the block when the dirty page is flushed.
+        """
+        with self._lock:
+            self._check_writable()
+            return self._claim_locked()
 
     def free(self, block_id: BlockId) -> None:
         """Release a block onto the freelist (metadata only, no I/O)."""
@@ -351,6 +386,22 @@ class FileBlockStore:
             self._file.write(data)
             self.counters.record_write(block_id)
 
+    def write_back(self, block_id: BlockId, payload: bytes) -> None:
+        """Physically write a block *without* counting I/O.
+
+        The flush half of the dirty-page write-back protocol: the
+        logical write was already counted when the page was dirtied, so
+        materializing it here must not count again.  Physical write
+        traffic is reported by the page layer
+        (:class:`~repro.storage.paged.PageCacheStats`).
+        """
+        data = self._pad(payload)
+        with self._lock:
+            self._check_writable()
+            self._check_live(block_id)
+            self._file.seek(self._offset(block_id))
+            self._file.write(data)
+
     def peek(self, block_id: BlockId) -> bytes:
         """Read a block *without* counting I/O (validation/debugging)."""
         with self._lock:
@@ -392,6 +443,14 @@ class FileBlockStore:
         with self._lock:
             if not self._readonly:
                 self._write_header()
+                # A reserved-then-freed block may never have been
+                # written; pad the file to the length the header
+                # promises so reopening always validates.
+                expected = HEADER_REGION + self._n_blocks * self.block_size
+                self._file.seek(0, os.SEEK_END)
+                if self._file.tell() < expected:
+                    self._file.seek(expected - 1)
+                    self._file.write(b"\x00")
                 self._file.flush()
 
     def close(self) -> None:

@@ -11,18 +11,35 @@ larger than RAM costs only ``cache_pages`` decoded nodes of memory
 while every query engine — window, kNN, join, point — runs on it
 unchanged.
 
+The index is **mutable**: the page layer is a dirty-page write-back
+cache.  ``write``/``allocate`` mutate the decoded page in memory, mark
+it dirty, and defer encoding until the page is evicted, explicitly
+:meth:`PagedNodeStore.sync`-ed, or the tree is closed — so a Guttman
+insert that adjusts the same root-to-leaf path a hundred times costs a
+hundred *logical* write I/Os but one *physical* page write per distinct
+dirty page.  Freed blocks return to the
+:class:`~repro.storage.filestore.FileBlockStore` freelist and are
+reused by later allocations; :meth:`PagedTree.sync` flushes the dirty
+set (in block order) and rewrites the header — tree descriptor
+(``root_id``/``height``/``size``), freelist head and live count — in
+one header-region write, making every sync a consistency point the
+file can be cold-reopened from.
+
 Accounting is the contract that keeps figures comparable: a *logical*
-read (``store.read``) counts one I/O on the shared
-:class:`~repro.iomodel.counters.IOCounters` exactly like the simulated
-store, whether or not the page was cached — the page cache models RAM
-reuse of decoded nodes, not the paper's I/O semantics.  The *physical*
-file reads and decodes saved by the cache are reported separately in
-:class:`PageCacheStats` (the cold/warm story of the storage
-benchmarks).
+read (``store.read``) or write (``store.write``) counts one I/O on the
+shared :class:`~repro.iomodel.counters.IOCounters` exactly like the
+simulated store, whether or not the page was cached — the page cache
+models RAM reuse of decoded nodes, not the paper's I/O semantics.  The
+*physical* file traffic the cache saves or defers is reported
+separately in :class:`PageCacheStats`: ``misses`` (reads + decodes,
+the cold/warm story of the storage benchmarks) and ``flushes`` (dirty
+pages encoded and written back, the update benchmarks' write-back
+story).
 
 The read path is thread-safe (one lock over the page table, the file
 store has its own), which is what lets the batched
-:class:`~repro.server.QueryServer` share one handle across workers.
+:class:`~repro.server.QueryServer` share one handle across workers;
+writes are serialized by the server before a batch's reads run.
 """
 
 from __future__ import annotations
@@ -60,10 +77,13 @@ __all__ = [
 DEFAULT_CACHE_PAGES = 1024
 
 #: Tree descriptor stored in the file's metadata region (little-endian):
-#: magic "PGT1" | u16 dim | u32 fanout | u32 height | u64 size | u64 root.
-_TREE_META = "<4sHIIQQ"
+#: magic "PGT2" | u16 dim | u32 fanout | u32 height | u64 size | u64 root
+#: | u64 next_oid.  next_oid is the lowest object id never handed out —
+#: after deletes shrink ``size`` below the high-water id, a reopened
+#: handle must not re-issue an id a live leaf entry still points at.
+_TREE_META = "<4sHIIQQQ"
 _TREE_META_BYTES = struct.calcsize(_TREE_META)
-_TREE_MAGIC = b"PGT1"
+_TREE_MAGIC = b"PGT2"
 
 
 @dataclass
@@ -72,26 +92,37 @@ class PageCacheStats:
 
     ``hits`` are page-table lookups served without touching the file;
     ``misses`` each cost one physical block read *and* one node decode;
-    ``evictions`` count pages dropped to stay within the budget.
+    ``evictions`` count pages dropped to stay within the budget;
+    ``flushes`` count dirty pages encoded and physically written back
+    (on eviction, :meth:`PagedNodeStore.sync`, or close).
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    flushes: int = 0
 
     @property
     def physical_reads(self) -> int:
         """Blocks actually read from the file (= decode count)."""
         return self.misses
 
+    @property
+    def physical_writes(self) -> int:
+        """Blocks actually written to the file (= encode count)."""
+        return self.flushes
+
     def snapshot(self) -> "PageCacheStats":
-        return PageCacheStats(self.hits, self.misses, self.evictions)
+        return PageCacheStats(
+            self.hits, self.misses, self.evictions, self.flushes
+        )
 
     def __sub__(self, other: "PageCacheStats") -> "PageCacheStats":
         return PageCacheStats(
             self.hits - other.hits,
             self.misses - other.misses,
             self.evictions - other.evictions,
+            self.flushes - other.flushes,
         )
 
 
@@ -127,6 +158,7 @@ class PagedNodeStore:
         self.capacity = capacity
         self.stats = PageCacheStats()
         self._pages: OrderedDict[BlockId, Node] = OrderedDict()
+        self._dirty: set[BlockId] = set()
         # The current page stays pinned outside the LRU budget: engines
         # peek a node's kind and immediately read the same block, and
         # that pair must cost one physical read even with capacity 0.
@@ -143,43 +175,125 @@ class PagedNodeStore:
     def counters(self) -> IOCounters:
         return self.file_store.counters
 
+    @property
+    def readonly(self) -> bool:
+        """True when the backing file forbids writes."""
+        return self.file_store.readonly
+
     # -- page table ----------------------------------------------------
 
     def _get_locked(self, block_id: BlockId) -> Node:
-        if self._mru is not None and self._mru[0] == block_id:
-            self.stats.hits += 1
-            return self._mru[1]
+        """Counted-read lookup: hits bump recency, misses fill the cache."""
         node = self._pages.get(block_id)
         if node is not None:
             self.stats.hits += 1
             self._pages.move_to_end(block_id)
             self._mru = (block_id, node)
             return node
+        if self._mru is not None and self._mru[0] == block_id:
+            # Peeked but not yet cached: promote without a second decode.
+            self.stats.hits += 1
+            node = self._mru[1]
+            self._cache_locked(block_id, node)
+            return node
         self.stats.misses += 1
         is_leaf, entries = self.codec.decode(self.file_store.peek(block_id))
         node = Node(is_leaf, entries)
-        self._insert_locked(block_id, node)
+        self._cache_locked(block_id, node)
         return node
 
-    def _insert_locked(self, block_id: BlockId, node: Node) -> None:
+    def _peek_locked(self, block_id: BlockId) -> Node:
+        """Uncounted lookup that reads *around* the cache.
+
+        Serves cached (including dirty) pages but never reorders the
+        LRU, never inserts, and never evicts — a validation walk over
+        the whole tree leaves the cache exactly as it found it.  The
+        decoded node is still pinned in the MRU slot so the engines'
+        peek-then-read pattern costs one physical read.
+        """
+        node = self._pages.get(block_id)
+        if node is not None:
+            self.stats.hits += 1
+            self._mru = (block_id, node)
+            return node
+        if self._mru is not None and self._mru[0] == block_id:
+            self.stats.hits += 1
+            return self._mru[1]
+        self.stats.misses += 1
+        is_leaf, entries = self.codec.decode(self.file_store.peek(block_id))
+        node = Node(is_leaf, entries)
+        self._mru = (block_id, node)
+        return node
+
+    def _cache_locked(
+        self, block_id: BlockId, node: Node, dirty: bool = False
+    ) -> None:
         self._mru = (block_id, node)
         if self.capacity == 0:
+            if dirty:
+                # No room to defer: degenerate to write-through.
+                self._flush_locked(block_id, node)
             return
         self._pages[block_id] = node
         self._pages.move_to_end(block_id)
-        if len(self._pages) > self.capacity:
-            self._pages.popitem(last=False)
+        if dirty:
+            self._dirty.add(block_id)
+        while len(self._pages) > self.capacity:
+            victim, victim_node = self._pages.popitem(last=False)
+            if victim in self._dirty:
+                self._flush_locked(victim, victim_node)
+                self._dirty.discard(victim)
             self.stats.evictions += 1
+
+    def _flush_locked(self, block_id: BlockId, node: Node) -> None:
+        """Encode one dirty page and physically write it (uncounted)."""
+        encoded = self.codec.encode(node.is_leaf, node.entries)
+        self.file_store.write_back(block_id, encoded)
+        self.stats.flushes += 1
 
     def cached_pages(self) -> int:
         """Decoded pages currently held (≤ capacity)."""
         return len(self._pages)
 
-    def clear_cache(self) -> None:
-        """Drop every decoded page (go fully cold); stats are kept."""
+    def dirty_pages(self) -> int:
+        """Cached pages whose encoding on disk is stale."""
+        return len(self._dirty)
+
+    def sync(self) -> int:
+        """Flush every dirty page to the file; returns pages written.
+
+        Flushes in block-id order so write-back I/O is as sequential as
+        the dirtied working set allows.
+        """
         with self._lock:
+            return self._sync_locked()
+
+    def _sync_locked(self) -> int:
+        flushed = 0
+        for block_id in sorted(self._dirty):
+            self._flush_locked(block_id, self._pages[block_id])
+            flushed += 1
+        self._dirty.clear()
+        return flushed
+
+    def clear_cache(self) -> None:
+        """Drop every decoded page (go fully cold); stats are kept.
+
+        Dirty pages are flushed first — clearing the cache must never
+        lose writes.
+        """
+        with self._lock:
+            self._sync_locked()
             self._pages.clear()
             self._mru = None
+
+    def _check_writable_locked(self) -> None:
+        # Writes are deferred, so the readonly error must fire at the
+        # write call, not at some later flush.
+        if self.file_store.readonly:
+            raise StorageError(
+                f"{self.file_store.path} was opened read-only"
+            )
 
     # -- counted access (the store protocol) ---------------------------
 
@@ -191,35 +305,67 @@ class PagedNodeStore:
             return node
 
     def peek(self, block_id: BlockId) -> Node:
-        """Read a node without counting I/O (validation/debugging)."""
+        """Read a node without counting I/O (validation/debugging).
+
+        Reads around the cache: cached pages (dirty ones included) are
+        served, but a miss neither inserts nor evicts, so peeking never
+        perturbs what the counted read path has warmed.
+        """
         with self._lock:
-            return self._get_locked(block_id)
+            return self._peek_locked(block_id)
 
     def write(self, block_id: BlockId, node: Node) -> None:
-        """Encode and write a node back, counting one I/O."""
-        encoded = self.codec.encode(node.is_leaf, node.entries)
+        """Write a node back: one logical I/O, deferred physical write.
+
+        The decoded page is updated (or installed) in the cache and
+        marked dirty; encoding and the physical block write happen on
+        eviction, :meth:`sync`, or close.  With ``capacity == 0`` there
+        is nowhere to defer to and the write falls back to
+        write-through.
+        """
+        if len(node.entries) > self.codec.fanout:
+            raise ValueError(
+                f"{len(node.entries)} entries exceed block fan-out "
+                f"{self.codec.fanout}"
+            )
         with self._lock:
-            self.file_store.write(block_id, encoded)
-            self._insert_locked(block_id, node)
+            self._check_writable_locked()
+            # Same KeyError/FreedBlockError contract as a direct write.
+            self.file_store._check_live(block_id)
+            self.counters.record_write(block_id)
+            self._cache_locked(block_id, node, dirty=True)
 
     def allocate(self, node: Node | None = None) -> BlockId:
-        """Allocate a block for a node, counting the materializing write."""
-        encoded = (
-            None
-            if node is None
-            else self.codec.encode(node.is_leaf, node.entries)
-        )
+        """Allocate a block for a node, counting the materializing write.
+
+        The block address is reserved immediately (freelist reuse
+        included) but the node's bytes stay in the cache as a dirty
+        page until flushed.
+        """
+        if node is not None and len(node.entries) > self.codec.fanout:
+            raise ValueError(
+                f"{len(node.entries)} entries exceed block fan-out "
+                f"{self.codec.fanout}"
+            )
         with self._lock:
-            block_id = self.file_store.allocate(encoded)
-            if node is not None:
-                self._insert_locked(block_id, node)
+            self._check_writable_locked()
+            if node is None:
+                return self.file_store.allocate(None)
+            block_id = self.file_store.reserve()
+            self.counters.record_write(block_id)
+            self._cache_locked(block_id, node, dirty=True)
             return block_id
 
     def free(self, block_id: BlockId) -> None:
-        """Release a block (metadata only, no counted I/O)."""
+        """Release a block (metadata only, no counted I/O).
+
+        A dirty cached page is simply discarded — freed blocks need no
+        flush.
+        """
         with self._lock:
             self.file_store.free(block_id)
             self._pages.pop(block_id, None)
+            self._dirty.discard(block_id)
             if self._mru is not None and self._mru[0] == block_id:
                 self._mru = None
 
@@ -244,7 +390,7 @@ class PagedNodeStore:
     def __repr__(self) -> str:
         return (
             f"PagedNodeStore(pages={len(self._pages)}/{self.capacity}, "
-            f"{self.file_store!r})"
+            f"dirty={len(self._dirty)}, {self.file_store!r})"
         )
 
 
@@ -323,6 +469,7 @@ def pack_tree(
         tree.height,
         tree.size,
         index_of[tree.root_id],
+        max(tree._next_oid, tree.size),
     )
     with FileBlockStore.create(path, block_size, meta=meta) as file_store:
         for _, node in order:
@@ -353,7 +500,11 @@ class PagedTree(RTree):
 
     Construct with :meth:`open`; close (or use as a context manager)
     when done.  The handle is a plain :class:`~repro.rtree.tree.RTree`
-    to every engine — only the store behind it differs.
+    to every engine — only the store behind it differs — and it is
+    *mutable*: :meth:`insert` / :meth:`delete` run the standard dynamic
+    algorithms over the dirty-page write-back store, and :meth:`sync`
+    (or :meth:`close`) persists the result.  Handles opened with
+    ``readonly=True`` reject updates up front.
     """
 
     def __init__(
@@ -365,6 +516,7 @@ class PagedTree(RTree):
         height: int,
         size: int,
         values: dict[int, Any] | Callable[[int], Any] | None = None,
+        next_oid: int = 0,
     ) -> None:
         super().__init__(
             store, root_id, dim=dim, fanout=fanout, height=height, size=size
@@ -377,6 +529,10 @@ class PagedTree(RTree):
             self.objects = dict(values)
             if self.objects:
                 self._next_oid = max(self.objects) + 1
+        # Fresh inserts must never reuse an object id a stored leaf
+        # entry still points at: honour the descriptor's high-water id
+        # (size alone is not a safe floor once deletes have shrunk it).
+        self._next_oid = max(self._next_oid, next_oid, size)
 
     @classmethod
     def open(
@@ -414,9 +570,9 @@ class PagedTree(RTree):
                 raise StorageError(
                     f"{path} holds no packed tree (metadata too short)"
                 )
-            magic, dim, fanout, height, size, root_id = struct.unpack_from(
-                _TREE_META, meta, 0
-            )
+            (
+                magic, dim, fanout, height, size, root_id, next_oid
+            ) = struct.unpack_from(_TREE_META, meta, 0)
             if magic != _TREE_MAGIC:
                 raise StorageError(
                     f"{path} holds no packed tree (bad metadata magic "
@@ -436,6 +592,7 @@ class PagedTree(RTree):
             height=height,
             size=size,
             values=values,
+            next_oid=next_oid,
         )
 
     # ------------------------------------------------------------------
@@ -450,9 +607,81 @@ class PagedTree(RTree):
         """Physical page-cache statistics (hits/misses/evictions)."""
         return self.page_store.stats
 
+    @property
+    def readonly(self) -> bool:
+        """True when the index file was opened without write access."""
+        return self.page_store.readonly
+
+    # -- write path ----------------------------------------------------
+
+    def _require_writable(self) -> None:
+        if self.readonly:
+            raise StorageError(
+                f"{self.page_store.file_store.path} was opened read-only; "
+                "reopen with readonly=False to insert or delete"
+            )
+        if not isinstance(self.objects, dict):
+            raise StorageError(
+                "this tree's values were supplied as a callable; updates "
+                "need a mutable object table (open with a dict or None)"
+            )
+
+    def insert(self, rect, value) -> int:
+        """Insert a data rectangle (Guttman); returns the object id.
+
+        The touched pages go dirty in the cache; call :meth:`sync` (or
+        :meth:`close`) to persist them and the updated tree descriptor.
+        Raises :class:`~repro.storage.filestore.StorageError` up front
+        on a read-only handle.
+        """
+        self._require_writable()
+        return super().insert(rect, value)
+
+    def delete(self, rect, value) -> bool:
+        """Delete one matching data rectangle (Guttman CondenseTree).
+
+        Freed blocks return to the file's freelist and are reused by
+        later inserts.  Raises
+        :class:`~repro.storage.filestore.StorageError` up front on a
+        read-only handle.
+        """
+        self._require_writable()
+        return super().delete(rect, value)
+
+    def sync(self) -> int:
+        """Flush dirty pages and rewrite the tree descriptor atomically.
+
+        Every dirty page is encoded and written back (in block order),
+        then the header — including the ``root_id``/``height``/``size``
+        descriptor, the freelist head and the live-block count — is
+        rewritten in a single header-region write.  Returns the number
+        of pages flushed.  A read-only handle has nothing to flush and
+        returns 0.
+        """
+        if self.readonly:
+            return 0
+        flushed = self.page_store.sync()
+        meta = struct.pack(
+            _TREE_META,
+            _TREE_MAGIC,
+            self.dim,
+            self.fanout,
+            self.height,
+            self.size,
+            self.root_id,
+            self._next_oid,
+        )
+        file_store = self.page_store.file_store
+        file_store.set_metadata(meta, persist=False)
+        file_store.flush()  # one header-region write covers it
+        return flushed
+
     def close(self) -> None:
-        """Close the underlying index file (idempotent)."""
-        self.page_store.file_store.close()
+        """Sync pending writes and close the index file (idempotent)."""
+        file_store = self.page_store.file_store
+        if not file_store.closed and not self.readonly:
+            self.sync()
+        file_store.close()
 
     def __enter__(self) -> "PagedTree":
         return self

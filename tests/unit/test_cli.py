@@ -98,6 +98,18 @@ class TestPackAndServe:
         ]) == 0
         assert "serve-bench: 30 mixed requests" in capsys.readouterr().out
 
+    def test_update_bench(self, capsys):
+        assert main([
+            "update-bench", "--updates", "60", "--queries", "10",
+            "--batch-size", "30", "--dataset", "uniform", "--n", "400",
+            "--cache-pages", "64",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "update-bench: 60 mixed inserts/deletes" in text
+        assert "pages_flushed" in text
+        assert "write-back:" in text
+        assert "fresh bulk-load query" in text
+
     def test_run_figure12_small(self, capsys):
         assert main([
             "run", "figure12", "--n", "500", "--fanout", "8", "--queries", "3",

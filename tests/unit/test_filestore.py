@@ -183,6 +183,66 @@ class TestFreelist:
             assert store.allocate(b"y") == ids[0]
 
 
+class TestReserveAndWriteBack:
+    """The uncounted write-back half used by the dirty-page layer."""
+
+    def test_reserve_claims_address_without_io(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            before = store.counters.total
+            bid = store.reserve()
+            assert bid == 0
+            assert store.counters.total == before
+            assert bid in store
+            assert store.reserve() == 1
+
+    def test_reserve_pops_freelist(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            ids = [store.allocate(b"x") for _ in range(3)]
+            store.free(ids[1])
+            assert store.reserve() == ids[1]
+            assert store.reserve() == 3
+
+    def test_write_back_is_uncounted_and_persists(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            bid = store.reserve()
+            before = store.counters.total
+            store.write_back(bid, b"deferred")
+            assert store.counters.total == before
+            assert store.peek(bid)[:8] == b"deferred"
+        with FileBlockStore.open(path) as store:
+            assert store.peek(bid)[:8] == b"deferred"
+
+    def test_write_back_checks_liveness(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            bid = store.allocate(b"x")
+            store.free(bid)
+            with pytest.raises(FreedBlockError):
+                store.write_back(bid, b"y")
+            with pytest.raises(KeyError):
+                store.write_back(42, b"y")
+
+    def test_reserved_never_written_block_survives_reopen(self, path):
+        # A reserved block freed before any flush must not leave the
+        # file shorter than the header promises.
+        with FileBlockStore.create(path, block_size=64) as store:
+            store.allocate(b"x")
+            bid = store.reserve()
+            store.free(bid)
+        with FileBlockStore.open(path) as store:
+            assert len(store) == 1
+            assert store.allocate(b"y") == bid
+
+    def test_reserve_readonly_raises(self, path):
+        with FileBlockStore.create(path, block_size=64) as store:
+            store.allocate(b"x")
+        with FileBlockStore.open(path, readonly=True) as store:
+            assert store.readonly
+            with pytest.raises(StorageError, match="read-only"):
+                store.reserve()
+            with pytest.raises(StorageError, match="read-only"):
+                store.write_back(0, b"y")
+
+
 class TestReopen:
     def test_payloads_survive_reopen(self, path):
         with FileBlockStore.create(path, block_size=64) as store:

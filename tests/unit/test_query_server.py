@@ -13,12 +13,16 @@ from repro.rtree.query import QueryEngine
 from repro.server import (
     ContainmentRequest,
     CountRequest,
+    DeleteRequest,
+    InsertRequest,
     JoinRequest,
     KNNRequest,
     PointRequest,
     QueryServer,
+    UpdateStats,
     WindowRequest,
 )
+from repro.rtree.validate import validate_rtree
 from repro.storage import PagedTree, pack_tree
 
 from tests.conftest import assert_same_matches, random_rects, random_windows
@@ -229,6 +233,190 @@ class TestLocalityAndStats:
         assert second.internal_reads == 0
         assert first.internal_reads >= second.internal_reads
         assert server.batches_served == 2
+
+
+class TestWrites:
+    """Insert/delete request kinds: ordering, dedup exemption, and the
+    per-batch write-I/O / flushed-page accounting."""
+
+    @pytest.fixture
+    def paged(self, tmp_path):
+        data = random_rects(600, seed=61)
+        tree = build_prtree(BlockStore(), data, 16)
+        path = tmp_path / "w.pack"
+        pack_tree(tree, path, block_size=4096)
+        paged = PagedTree.open(
+            path, values=dict(tree.objects), cache_pages=256
+        )
+        yield paged, data
+        paged.close()
+
+    def test_insert_returns_oid_and_is_queryable(self, paged):
+        tree, data = paged
+        server = QueryServer(tree)
+        rect = Rect((0.31, 0.41), (0.32, 0.42))
+        report = server.submit(
+            [
+                InsertRequest(rect, "fresh"),
+                WindowRequest(Rect((0.3, 0.4), (0.33, 0.43))),
+            ]
+        )
+        oid = report.results[0].value
+        assert tree.objects[oid] == "fresh"
+        # The read in the same batch observes the write.
+        assert "fresh" in [v for _, v in report.results[1].value]
+        assert report.writes == 1
+        assert report.write_ios > 0
+        assert isinstance(report.results[0].stats, UpdateStats)
+        assert report.results[0].stats.writes > 0
+
+    def test_delete_result_reports_found(self, paged):
+        tree, data = paged
+        server = QueryServer(tree)
+        rect, value = data[0]
+        report = server.submit(
+            [
+                DeleteRequest(rect, value),
+                DeleteRequest(rect, value),  # second one finds nothing
+            ]
+        )
+        assert report.results[0].value is True
+        assert report.results[1].value is False
+        assert report.writes == 2
+        assert tree.size == len(data) - 1
+
+    def test_identical_inserts_are_never_deduped(self, paged):
+        tree, data = paged
+        server = QueryServer(tree)
+        rect = Rect((0.11, 0.11), (0.12, 0.12))
+        report = server.submit([InsertRequest(rect, "dup")] * 5)
+        assert report.executed == 5
+        assert report.dedup_hits == 0
+        assert report.writes == 5
+        assert tree.size == len(data) + 5
+        oids = [r.value for r in report.results]
+        assert len(set(oids)) == 5
+
+    def test_unhashable_write_values_are_fine(self, paged):
+        tree, data = paged
+        server = QueryServer(tree)
+        rect = Rect((0.21, 0.21), (0.22, 0.22))
+        report = server.submit(
+            [InsertRequest(rect, ["a", "list"]), CountRequest(rect)]
+        )
+        assert report.results[1].value >= 1
+
+    def test_writes_apply_before_reads(self, paged):
+        tree, data = paged
+        server = QueryServer(tree)
+        rect = Rect((0.61, 0.61), (0.62, 0.62))
+        # Read submitted first still observes the later write: batch
+        # semantics are writes-first.
+        report = server.submit(
+            [CountRequest(rect), InsertRequest(rect, "later")]
+        )
+        assert report.results[0].value >= 1
+
+    def test_warm_engines_invalidated_by_writes(self, paged):
+        tree, data = paged
+        server = QueryServer(tree)
+        window = Rect((0.4, 0.4), (0.45, 0.45))
+        before = server.submit([WindowRequest(window)])
+        inside = Rect((0.41, 0.41), (0.42, 0.42))
+        server.submit([InsertRequest(inside, "inserted")])
+        after = server.submit([WindowRequest(window)])
+        got = [v for _, v in after.results[0].value]
+        want = [v for _, v in before.results[0].value] + ["inserted"]
+        assert sorted(map(str, got)) == sorted(map(str, want))
+
+    def test_batch_sync_flushes_dirty_pages(self, paged):
+        tree, data = paged
+        server = QueryServer(tree)
+        requests = [
+            InsertRequest(Rect((0.5 + i * 0.001, 0.5), (0.5 + i * 0.001 + 0.002, 0.502)), i)
+            for i in range(40)
+        ]
+        report = server.submit(requests)
+        assert report.pages_flushed > 0
+        # Write-back: far fewer physical page writes than logical write
+        # I/Os (write-through would pay one physical write each).
+        assert report.pages_flushed < report.write_ios
+        assert tree.page_store.dirty_pages() == 0  # batch is a sync point
+
+    def test_sync_writes_disabled_defers_flushing(self, paged):
+        tree, data = paged
+        server = QueryServer(tree, sync_writes=False)
+        report = server.submit(
+            [InsertRequest(Rect((0.7, 0.7), (0.71, 0.71)), "x")]
+        )
+        assert tree.page_store.dirty_pages() > 0
+        assert report.pages_flushed == 0
+        assert tree.sync() > 0
+
+    def test_mixed_write_read_batch_stays_consistent(self, paged):
+        tree, data = paged
+        server = QueryServer(tree)
+        requests = []
+        for i, (rect, value) in enumerate(data[:30]):
+            requests.append(DeleteRequest(rect, value))
+        for i in range(30):
+            x = 0.8 + (i % 6) * 0.01
+            y = 0.1 + (i // 6) * 0.01
+            requests.append(
+                InsertRequest(Rect((x, y), (x + 0.005, y + 0.005)), f"n{i}")
+            )
+        requests.append(WindowRequest(Rect((0, 0), (1, 1))))
+        report = server.submit(requests)
+        assert len(report.results[-1].value) == len(data)
+        validate_rtree(tree, expect_size=len(data))
+
+    def test_writes_work_on_in_memory_trees_too(self, trees):
+        a, _ = trees
+        server = QueryServer({"a": a})
+        size_before = a.size
+        report = server.submit(
+            [InsertRequest(Rect((0.5, 0.5), (0.51, 0.51)), "mem", index="a")]
+        )
+        assert a.size == size_before + 1
+        assert report.pages_flushed == 0  # nothing paged behind "a"
+        assert report.write_ios > 0
+        # Leave the shared fixture as we found it.
+        assert a.delete(Rect((0.5, 0.5), (0.51, 0.51)), "mem")
+
+    def test_update_stream_oracle_handles_duplicate_pairs(self, paged):
+        from repro.experiments.serving import mixed_update_requests
+
+        tree, data = paged
+        rect = Rect((0.9, 0.9), (0.91, 0.91))
+        # Two identical (rect, value) pairs; one drawn as a delete must
+        # leave exactly one copy in the predicted live set.
+        doubled = [(rect, "twin"), (rect, "twin")]
+        requests, live = mixed_update_requests(
+            doubled, fresh=[], delete_frac=1.0, seed=4
+        )
+        assert len(requests) == 2  # both copies are deleted eventually
+        assert live == []
+        requests, live = mixed_update_requests(
+            doubled, fresh=[(rect, "other")], delete_frac=0.0, seed=4
+        )
+        deletes = [r for r in requests if r.kind == "delete"]
+        assert live.count((rect, "twin")) == 2 - len(deletes)
+
+    def test_readonly_index_write_error_propagates(self, tmp_path):
+        data = random_rects(200, seed=62)
+        tree = build_prtree(BlockStore(), data, 16)
+        path = tmp_path / "ro.pack"
+        pack_tree(tree, path)
+        with PagedTree.open(
+            path, values=dict(tree.objects), readonly=True
+        ) as ro:
+            server = QueryServer(ro)
+            from repro.storage import StorageError
+
+            with pytest.raises(StorageError, match="read-only"):
+                server.submit(
+                    [InsertRequest(Rect((0, 0), (1, 1)), "nope")]
+                )
 
 
 class TestWorkers:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.geometry.rect import Rect
 from repro.iomodel.blockstore import BlockStore
+from repro.rtree.node import Node
 from repro.rtree.query import QueryEngine, brute_force_query
 from repro.rtree.split import linear_split
 from repro.rtree.tree import RTree
@@ -156,3 +157,159 @@ class TestDelete:
         validate_rtree(tree, expect_size=100)
         window = Rect((0.0, 0.0), (1.0, 1.0))
         assert tree.count_query(window) == 100
+
+
+def _unit_rect(i):
+    return Rect((float(i), float(i)), (i + 1.0, i + 1.0))
+
+
+def _hand_built_tree(store, single_child_subtree=True):
+    """A height-3 tree whose root has a minimum-fill subtree A and a
+    subtree B with a single child — the shape packed (bulk-loaded)
+    files legitimately produce for awkward sizes.  Deleting one entry
+    under A dissolves its leaf and A itself, leaving the root with only
+    B: the root then collapses *twice*, below the level of A's
+    surviving subtree orphans.
+    """
+    values = {}
+    oid = 0
+
+    def mk_leaf(base):
+        nonlocal oid
+        entries = []
+        for j in range(3):
+            entries.append((_unit_rect(base + j), oid))
+            values[oid] = f"v{oid}"
+            oid += 1
+        return store.allocate(Node(True, entries)), entries
+
+    a_entries = []
+    for base in (0, 10, 20):
+        leaf_id, entries = mk_leaf(base)
+        a_entries.append((Node(True, entries).mbr(), leaf_id))
+    a_id = store.allocate(Node(False, a_entries))
+
+    b_children = [mk_leaf(30)] if single_child_subtree else [
+        mk_leaf(30), mk_leaf(40), mk_leaf(50)
+    ]
+    b_entries = [
+        (Node(True, entries).mbr(), leaf_id)
+        for leaf_id, entries in b_children
+    ]
+    b_id = store.allocate(Node(False, b_entries))
+
+    root_id = store.allocate(
+        Node(
+            False,
+            [
+                (store.peek(a_id).mbr(), a_id),
+                (store.peek(b_id).mbr(), b_id),
+            ],
+        )
+    )
+    size = len(values)
+    tree = RTree(store, root_id, dim=2, fanout=8, height=3, size=size)
+    tree.objects.update(values)
+    tree._next_oid = size
+    return tree
+
+
+class TestCondenseRootCollapse:
+    """Regression: orphaned *subtree* entries must be reinserted at
+    their recorded level before the root collapse can shrink the tree
+    below it — the old clamp ``min(entry_level, height - 1)`` grafted
+    internal pointers as data entries after a double collapse."""
+
+    def test_double_collapse_with_surviving_subtree_orphans(self, store):
+        tree = _hand_built_tree(store)
+        validate_rtree(tree, expect_size=12)
+        assert delete(tree, _unit_rect(0), "v0")
+        validate_rtree(tree, expect_size=11)
+        got, _ = QueryEngine(tree).query(Rect((0.0, 0.0), (60.0, 60.0)))
+        assert sorted(v for _, v in got) == sorted(
+            f"v{i}" for i in range(1, 12)
+        )
+
+    def test_single_collapse_still_works(self, store):
+        tree = _hand_built_tree(store, single_child_subtree=False)
+        validate_rtree(tree, expect_size=18)
+        assert delete(tree, _unit_rect(0), "v0")
+        validate_rtree(tree, expect_size=17)
+
+    def test_drain_hand_built_tree_completely(self, store):
+        tree = _hand_built_tree(store)
+        while tree.size:
+            rect, value = next(tree.all_data())
+            assert delete(tree, rect, value)
+            validate_rtree(tree, expect_size=tree.size)
+        assert tree.height == 1
+        assert tree.root().is_leaf
+
+    def test_delete_through_single_child_chain(self, store):
+        # root -> internal -> leaf, every node single-entry: deleting
+        # the only rectangle must leave a valid empty tree.
+        leaf_id = store.allocate(Node(True, [(_unit_rect(0), 0)]))
+        mid_id = store.allocate(
+            Node(False, [(_unit_rect(0), leaf_id)])
+        )
+        root_id = store.allocate(
+            Node(False, [(_unit_rect(0), mid_id)])
+        )
+        tree = RTree(store, root_id, dim=2, fanout=8, height=3, size=1)
+        tree.objects[0] = "only"
+        tree._next_oid = 1
+        assert delete(tree, _unit_rect(0), "only")
+        assert tree.size == 0
+        assert tree.height == 1
+        validate_rtree(tree, expect_size=0)
+        insert(tree, _unit_rect(5), "again")
+        validate_rtree(tree, expect_size=1)
+
+
+class TestDuplicateEntries:
+    """Regression: N identical ``(rect, value)`` pairs are deleted one
+    per call, deterministically, with the tree valid after every step."""
+
+    @pytest.mark.parametrize("n", [5, 17, 40])
+    def test_insert_n_identical_then_delete_n(self, store, n):
+        tree = RTree.create_empty(store, fanout=8)
+        rect = Rect((0.2, 0.2), (0.4, 0.4))
+        for _ in range(n):
+            insert(tree, rect, "dup")
+        validate_rtree(tree, expect_size=n)
+        for remaining in range(n, 0, -1):
+            assert delete(tree, rect, "dup")
+            assert tree.size == remaining - 1
+            validate_rtree(tree, expect_size=remaining - 1)
+        assert not delete(tree, rect, "dup")
+
+    def test_duplicates_interleaved_with_data(self, store):
+        rng = random.Random(99)
+        tree = RTree.create_empty(store, fanout=6)
+        rect = Rect((0.2, 0.2), (0.4, 0.4))
+        data = random_rects(80, seed=98)
+        for rc, value in data:
+            insert(tree, rc, value)
+        for _ in range(15):
+            insert(tree, rect, "dup")
+        plan = ["dup"] * 15 + ["data"] * 80
+        rng.shuffle(plan)
+        live = list(data)
+        dup_left = 15
+        for kind in plan:
+            if kind == "dup":
+                assert delete(tree, rect, "dup")
+                dup_left -= 1
+            else:
+                rc, value = live.pop()
+                assert delete(tree, rc, value)
+            validate_rtree(tree, expect_size=len(live) + dup_left)
+
+    def test_failed_delete_leaves_bookkeeping_intact(self, store):
+        data = random_rects(60, seed=97)
+        tree = grow_tree(store, data, fanout=6)
+        size_before = tree.size
+        objects_before = dict(tree.objects)
+        assert not delete(tree, Rect((2, 2), (3, 3)), "missing")
+        assert tree.size == size_before
+        assert tree.objects == objects_before
