@@ -7,17 +7,20 @@ Usage (installed or from a checkout)::
     python -m repro run theorem3 --n 16384
     python -m repro run all --out results/
     python -m repro pack index.pack --variant PR --n 50000
+    python -m repro pack index.manifest --shards 4 --n 50000
     python -m repro serve-bench --index index.pack --requests 1000
+    python -m repro serve-bench --shards 4 --workers 4 --requests 1000
     python -m repro update-bench --updates 1000 --n 20000
 
 ``run all`` executes every experiment with its defaults and writes each
 rendered table to the output directory (or stdout when none is given).
-``pack`` bulk-loads a variant and writes it to an on-disk index file;
-``serve-bench`` reopens such a file as a lazily paged tree and drives a
-mixed batched workload through the query server; ``update-bench``
-measures dynamic inserts/deletes on a packed index (dirty-page
-write-back) and the post-update query degradation versus a fresh
-bulk-load.
+``pack`` bulk-loads a variant and writes it to an on-disk index file —
+or, with ``--shards K``, to K Hilbert-range shard files behind a
+manifest; ``serve-bench`` reopens either shape as a lazily paged tree
+and drives a mixed batched workload through the query server;
+``update-bench`` measures dynamic inserts/deletes on a packed index
+(dirty-page write-back) and the post-update query degradation versus a
+fresh bulk-load.
 """
 
 from __future__ import annotations
@@ -128,6 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="bytes per block (default 4096, the paper's)",
     )
+    pack.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "split into this many Hilbert-range shard files behind a "
+            "manifest written at OUT (default 1: a single index file)"
+        ),
+    )
     pack.add_argument("--seed", type=int, default=0, help="generation seed")
 
     serve = sub.add_parser(
@@ -137,7 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--index",
         type=pathlib.Path,
-        help="a `repro pack` output; omitted: pack a temporary index first",
+        help=(
+            "a `repro pack` output (single file or shard manifest, "
+            "auto-detected); omitted: pack a temporary index first"
+        ),
     )
     serve.add_argument(
         "--requests", type=int, default=1000, help="total requests"
@@ -174,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--block-size", dest="block_size", type=int, default=4096,
         help="block size of the temporary index (no --index)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="shard count of the temporary index (no --index)",
     )
     serve.add_argument("--seed", type=int, default=0, help="workload seed")
 
@@ -271,6 +290,7 @@ def main(argv: list[str] | None = None) -> int:
             fanout=args.fanout,
             block_size=args.block_size,
             seed=args.seed,
+            shards=args.shards,
         )
         print(table.render())
         return 0
@@ -287,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
             n=args.n,
             block_size=args.block_size,
             seed=args.seed,
+            shards=args.shards,
         )
         print(table.render())
         return 0

@@ -6,11 +6,16 @@ Three entry points behind the ``repro pack``, ``repro serve-bench`` and
 * :func:`pack_index` — bulk-load one variant on the chosen dataset and
   write it to an index file with :func:`repro.storage.paged.pack_tree`,
   reporting the pack's size and (almost entirely sequential) write I/O.
-* :func:`serve_bench` — open an index file as a lazily paged tree with
-  a bounded page cache and drive a mixed
+  With ``shards > 1`` the tree is instead split into K Hilbert-range
+  shard files plus a manifest
+  (:func:`repro.storage.shard.shard_pack`), one table row per shard.
+* :func:`serve_bench` — open an index (single file or shard manifest,
+  sniffed by :func:`repro.storage.shard.open_index`) as a lazily paged
+  tree with a bounded page cache and drive a mixed
   window/point/count/containment/kNN workload through the batched
   :class:`~repro.server.QueryServer`, reporting per-batch latency,
-  logical leaf I/O, physical page reads, and dedup savings.  Later
+  logical leaf I/O, physical page reads, and dedup savings; a sharded
+  index additionally reports the per-shard I/O balance.  Later
   batches revisit earlier query regions, so physical reads fall as the
   page cache warms while the logical I/O per request stays flat — the
   storage-engine counterpart of the paper's cached-internal-nodes setup.
@@ -51,7 +56,7 @@ from repro.server import (
     Request,
     WindowRequest,
 )
-from repro.storage import PagedTree, pack_tree
+from repro.storage import PagedTree, ShardedTree, open_index, pack_tree, shard_pack
 from repro.workloads.queries import square_queries
 
 __all__ = [
@@ -79,8 +84,15 @@ def pack_index(
     fanout: int | None = None,
     block_size: int = 4096,
     seed: int = 0,
+    shards: int = 1,
 ) -> Table:
-    """Bulk-load one variant and pack it to an index file."""
+    """Bulk-load one variant and pack it to an index file.
+
+    With ``shards > 1`` the bulk-loaded tree is split by Hilbert rank
+    into that many shard files plus a manifest at ``out`` (see
+    :func:`repro.storage.shard.shard_pack`); the table then carries one
+    row per shard.
+    """
     if dataset not in DATASETS:
         raise ValueError(
             f"unknown dataset {dataset!r}; choose from {sorted(DATASETS)}"
@@ -93,17 +105,40 @@ def pack_index(
     tree = build_variant(variant, data, fanout)
     build_s = time.perf_counter() - build_start
 
-    pack_start = time.perf_counter()
-    stats = pack_tree(tree, out, block_size=block_size)
-    pack_s = time.perf_counter() - pack_start
-
     table = Table(
-        title=f"pack: {variant} over {dataset}",
+        title=f"pack: {variant} over {dataset}"
+        + (f", {shards} shards" if shards > 1 else ""),
         headers=[
             "variant", "n", "fanout", "height", "blocks",
             "file_MB", "write_ios", "seq_frac", "build_s", "pack_s",
         ],
     )
+    if shards > 1:
+        pack_start = time.perf_counter()
+        family = shard_pack(tree, out, shards=shards, block_size=block_size)
+        pack_s = time.perf_counter() - pack_start
+        for i, stats in enumerate(family.per_shard):
+            table.add_row(
+                f"{variant}[{i}]",
+                stats.size,
+                fanout,
+                stats.height,
+                stats.n_blocks,
+                stats.file_bytes / 2**20,
+                stats.write_ios,
+                stats.seq_writes / stats.write_ios if stats.write_ios else 0.0,
+                build_s if i == 0 else 0.0,
+                pack_s if i == 0 else 0.0,
+            )
+        table.add_note(
+            f"shard manifest: {out} ({family.shards} shard files, "
+            f"{block_size}-byte blocks)"
+        )
+        return table
+
+    pack_start = time.perf_counter()
+    stats = pack_tree(tree, out, block_size=block_size)
+    pack_s = time.perf_counter() - pack_start
     table.add_row(
         variant,
         n,
@@ -177,17 +212,22 @@ def serve_bench(
     fanout: int | None = None,
     block_size: int = 4096,
     seed: int = 0,
+    shards: int = 1,
 ) -> Table:
     """Drive a mixed batched workload through a paged index file.
 
     With ``index=None`` a temporary index is built and packed first
-    (``variant``/``dataset``/``n`` control it); otherwise the given
-    ``repro pack`` output is served as-is.
+    (``variant``/``dataset``/``n``/``shards`` control it); otherwise
+    the given ``repro pack`` output — a single index file or a shard
+    manifest, auto-detected — is served as-is.  A sharded index adds a
+    per-shard I/O-balance note to the table.
     """
     tmpdir: tempfile.TemporaryDirectory | None = None
     if index is None:
         tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
-        index = pathlib.Path(tmpdir.name) / "index.pack"
+        index = pathlib.Path(tmpdir.name) / (
+            "index.manifest" if shards > 1 else "index.pack"
+        )
         pack_index(
             index,
             variant=variant,
@@ -196,17 +236,23 @@ def serve_bench(
             fanout=fanout,
             block_size=block_size,
             seed=seed,
+            shards=shards,
         )
     try:
-        with PagedTree.open(index, cache_pages=cache_pages) as tree:
+        # The mixed workload is read-only; opening read-only both allows
+        # serving an index the process cannot write (e.g. a read-only
+        # mount) and guarantees the benchmark leaves the files untouched.
+        with open_index(index, cache_pages=cache_pages, readonly=True) as tree:
             server = QueryServer(tree, workers=workers)
             bounds = tree.root().mbr()
             stream = mixed_requests(bounds, count=requests, seed=seed + 1)
 
+            sharded = isinstance(tree, ShardedTree)
             table = Table(
                 title=(
                     f"serve-bench: {requests} mixed requests, "
                     f"batches of {batch_size}, {cache_pages}-page cache"
+                    + (f", {tree.n_shards} shards" if sharded else "")
                 ),
                 headers=[
                     "batch", "requests", "executed", "dedup",
@@ -242,6 +288,17 @@ def serve_bench(
                     f"overall: {totals['reqs'] / totals['lat']:,.0f} req/s, "
                     f"{totals['leaf']} leaf I/Os, "
                     f"{totals['phys']} physical page reads"
+                )
+            if sharded:
+                loads = tree.shard_loads()
+                table.add_note(
+                    "per-shard balance (logical reads / physical reads / "
+                    "busy ms): "
+                    + ", ".join(
+                        f"shard{i}: {load.reads}/{load.physical_reads}/"
+                        f"{load.busy_s * 1000:.0f}"
+                        for i, load in enumerate(loads)
+                    )
                 )
             return table
     finally:

@@ -1,5 +1,13 @@
 """I/O counters and the calibrated time model.
 
+These counters are the **logical-I/O** layer of the accounting
+vocabulary pinned down in ``docs/io-accounting.md``: one counted I/O
+per ``read``/``write``/``allocate`` on any backend, cached or not,
+``peek``/``free`` free of charge.  Physical file traffic is reported
+separately by :class:`repro.storage.paged.PageCacheStats`; the batched
+server aggregates both per batch in
+:class:`repro.server.server.BatchReport`.
+
 Every access to the simulated disk is classified as *sequential* (the block
 immediately following the previously accessed block) or *random* (anything
 else).  The distinction matters for reproducing the paper's Figure 9/11

@@ -27,13 +27,24 @@ logical write I/O.  Each batch reports its logical write I/O and the
 pages physically flushed (:attr:`BatchReport.write_ios` /
 :attr:`BatchReport.pages_flushed`).
 
+The catalog also accepts **sharded** indexes
+(:class:`~repro.storage.shard.ShardedTree`) transparently: requests
+against one are executed by the sharded fan-out engines — window-style
+queries touch only the shards whose MBR intersects, kNN best-first
+merges per-shard streams, writes route/broadcast by Hilbert rank — and
+every batch's :class:`BatchReport` carries a per-shard
+logical/physical-I/O and busy-time breakdown
+(:attr:`BatchReport.shard_loads`).
+
 Execution is single-threaded by default (deterministic accounting);
 ``workers > 1`` runs independent request groups on a thread pool — safe
 over paged trees because the :class:`~repro.storage.paged.PagedNodeStore`
-read path is locked, with each group owning its engine.  Every batch
-returns a :class:`BatchReport` with per-request payloads *in the
-original order* plus the batch's latency, logical I/O, and physical
-page reads.
+read path is locked, with each group owning its engine — and
+additionally fans a single sharded request out across its shards.
+Every batch returns a :class:`BatchReport` with per-request payloads
+*in the original order* plus the batch's latency, logical I/O, and
+physical page reads — ``docs/io-accounting.md`` defines how those
+columns relate to the store- and page-layer counters they aggregate.
 """
 
 from __future__ import annotations
@@ -64,6 +75,14 @@ from repro.server.requests import (
     RequestResult,
     UpdateStats,
     WindowRequest,
+)
+from repro.storage.shard import (
+    ShardLoad,
+    ShardedJoinEngine,
+    ShardedKNNEngine,
+    ShardedPointEngine,
+    ShardedQueryEngine,
+    ShardedTree,
 )
 
 __all__ = ["QueryServer", "BatchReport"]
@@ -98,6 +117,11 @@ class BatchReport:
     #: (evictions plus the post-write sync) — with write-back this is at
     #: most the number of distinct dirty pages, not one per write I/O.
     pages_flushed: int = 0
+    #: Per-shard breakdown for every sharded index this batch touched:
+    #: index name → one :class:`~repro.storage.shard.ShardLoad` delta per
+    #: shard (logical reads/writes, physical reads, pages flushed, and
+    #: the wall-clock seconds the sharded engines spent on that shard).
+    shard_loads: dict[str, list[ShardLoad]] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -142,7 +166,10 @@ class QueryServer:
     indexes:
         Either one tree (served as ``"default"``) or a name → tree
         mapping.  Any :class:`~repro.rtree.tree.RTree` works; paged
-        trees get the additional physical-read reporting.
+        trees get the additional physical-read reporting, and
+        :class:`~repro.storage.shard.ShardedTree` families are served
+        transparently through the sharded fan-out engines with a
+        per-shard breakdown in every :class:`BatchReport`.
     dedup:
         Execute identical requests within a batch once (default).
     reorder:
@@ -151,7 +178,9 @@ class QueryServer:
     workers:
         Thread count for executing independent request groups.  1
         (default) is serial and gives deterministic counter interleaving;
-        more workers need the thread-safe paged read path.
+        more workers need the thread-safe paged read path.  Sharded
+        indexes additionally fan a *single* request out across their
+        shards on ``workers`` threads.
     sync_writes:
         After a batch's writes are applied, ``sync()`` every mutated
         index that supports it (paged trees flush their dirty pages and
@@ -170,9 +199,9 @@ class QueryServer:
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if isinstance(indexes, RTree):
+        if isinstance(indexes, (RTree, ShardedTree)):
             indexes = {DEFAULT_INDEX: indexes}
-        self.indexes: dict[str, RTree] = dict(indexes)
+        self.indexes: dict[str, RTree | ShardedTree] = dict(indexes)
         self.dedup = dedup
         self.reorder = reorder
         self.workers = workers
@@ -185,7 +214,7 @@ class QueryServer:
     # Catalog
     # ------------------------------------------------------------------
 
-    def attach(self, name: str, tree: RTree) -> None:
+    def attach(self, name: str, tree: RTree | ShardedTree) -> None:
         """Register (or replace) a named index."""
         self.indexes[name] = tree
         self._invalidate(name)
@@ -206,7 +235,7 @@ class QueryServer:
         for key in stale:
             del self._engines[key]
 
-    def _tree(self, name: str) -> RTree:
+    def _tree(self, name: str) -> RTree | ShardedTree:
         try:
             return self.indexes[name]
         except KeyError:
@@ -223,13 +252,32 @@ class QueryServer:
         if engine is None:
             if key[0] == "join":
                 _, left, right = key
-                engine = SpatialJoinEngine(
-                    self._tree(left), self._tree(right)
-                )
+                left_tree, right_tree = self._tree(left), self._tree(right)
+                if isinstance(left_tree, ShardedTree) or isinstance(
+                    right_tree, ShardedTree
+                ):
+                    engine = ShardedJoinEngine(
+                        left_tree, right_tree, workers=self.workers
+                    )
+                else:
+                    engine = SpatialJoinEngine(left_tree, right_tree)
             else:
                 _, index, kind = key
                 tree = self._tree(index)
-                if kind == "window":
+                if isinstance(tree, ShardedTree):
+                    # One request fans out across the family's shards
+                    # (on `workers` threads when allowed).
+                    if kind == "window":
+                        engine = ShardedQueryEngine(
+                            tree, workers=self.workers
+                        )
+                    elif kind == "knn":
+                        engine = ShardedKNNEngine(tree)
+                    else:  # point / containment / count
+                        engine = ShardedPointEngine(
+                            tree, workers=self.workers
+                        )
+                elif kind == "window":
                     engine = QueryEngine(tree)
                 elif kind == "knn":
                     engine = KNNEngine(tree)
@@ -314,18 +362,22 @@ class QueryServer:
             request=request, value=value, stats=stats, latency_s=latency
         )
 
-    def _page_stores(self, requests: Iterable[Request]) -> list:
-        """Distinct paged stores behind this batch's indexes."""
-        names = set()
+    def _batch_names(self, requests: Iterable[Request]) -> set[str]:
+        """Names of every index this batch addresses."""
+        names: set[str] = set()
         for request in requests:
             if isinstance(request, JoinRequest):
                 names.update((request.left, request.right))
             else:
                 names.add(request.index)
+        return names
+
+    def _page_stores(self, names: Iterable[str]) -> list:
+        """Distinct paged (or sharded-aggregate) stores behind indexes."""
         stores: dict[int, Any] = {}
         for name in names:
             store = self._tree(name).store
-            if hasattr(store, "stats"):  # PagedNodeStore
+            if hasattr(store, "stats"):  # PagedNodeStore / sharded view
                 stores[id(store)] = store
         return list(stores.values())
 
@@ -341,9 +393,18 @@ class QueryServer:
         start = time.perf_counter()
         report = BatchReport(requests=len(requests))
 
-        page_stores = self._page_stores(requests)
+        names = self._batch_names(requests)
+        page_stores = self._page_stores(names)
         physical_before = sum(s.stats.misses for s in page_stores)
         flushed_before = sum(s.stats.flushes for s in page_stores)
+        sharded = {
+            name: tree
+            for name in sorted(names)
+            if isinstance(tree := self._tree(name), ShardedTree)
+        }
+        loads_before = {
+            name: tree.shard_loads() for name, tree in sharded.items()
+        }
 
         # Phase 1: writes, strictly in submission order, never deduped.
         write_results: dict[int, RequestResult] = {}
@@ -448,6 +509,13 @@ class QueryServer:
         report.pages_flushed = (
             sum(s.stats.flushes for s in page_stores) - flushed_before
         )
+        for name, tree in sharded.items():
+            report.shard_loads[name] = [
+                after - before
+                for after, before in zip(
+                    tree.shard_loads(), loads_before[name]
+                )
+            ]
         report.latency_s = time.perf_counter() - start
         self.batches_served += 1
         return report

@@ -17,8 +17,16 @@ byte-exact node layout (36-byte entries in 4 KB blocks, paper Section
   into an index file and reopen it as a live tree that pages nodes in
   on demand, so indexes larger than RAM stay queryable by every engine
   unchanged.
+* :func:`repro.storage.shard.shard_pack` /
+  :class:`repro.storage.shard.ShardedTree` — split one logical index
+  into K Hilbert-range shard files behind a manifest, fanning queries
+  out to only the shards that can contribute;
+  :func:`repro.storage.shard.open_index` opens either shape.
 
 The batched query server in :mod:`repro.server` runs on these handles.
+The on-disk formats are specified byte-for-byte in
+``docs/storage-format.md``; the I/O vocabulary shared by every layer is
+pinned down in ``docs/io-accounting.md``.
 """
 
 from repro.storage.filestore import FileBlockStore, StorageError
@@ -30,6 +38,19 @@ from repro.storage.paged import (
     PagedTree,
     pack_tree,
 )
+from repro.storage.shard import (
+    ShardError,
+    ShardInfo,
+    ShardLoad,
+    ShardPackStats,
+    ShardedJoinEngine,
+    ShardedKNNEngine,
+    ShardedPointEngine,
+    ShardedQueryEngine,
+    ShardedTree,
+    open_index,
+    shard_pack,
+)
 
 __all__ = [
     "FileBlockStore",
@@ -40,4 +61,15 @@ __all__ = [
     "PackStats",
     "pack_tree",
     "DEFAULT_CACHE_PAGES",
+    "ShardError",
+    "ShardInfo",
+    "ShardLoad",
+    "ShardPackStats",
+    "ShardedTree",
+    "ShardedQueryEngine",
+    "ShardedPointEngine",
+    "ShardedKNNEngine",
+    "ShardedJoinEngine",
+    "shard_pack",
+    "open_index",
 ]

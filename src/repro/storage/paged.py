@@ -34,7 +34,8 @@ models RAM reuse of decoded nodes, not the paper's I/O semantics.  The
 separately in :class:`PageCacheStats`: ``misses`` (reads + decodes,
 the cold/warm story of the storage benchmarks) and ``flushes`` (dirty
 pages encoded and written back, the update benchmarks' write-back
-story).
+story).  ``docs/io-accounting.md`` lays the whole logical-vs-physical
+vocabulary out in one place.
 
 The read path is thread-safe (one lock over the page table, the file
 store has its own), which is what lets the batched

@@ -38,6 +38,12 @@ class TestFastExamples:
         assert "spatial join:" in out
         assert "leaf I/Os" in out
 
+    def test_sharded_serving(self, capsys):
+        out = run_example("sharded_serving.py", capsys)
+        assert "4 shards" in out
+        assert "per-shard batch load" in out
+        assert "reopened cold" in out
+
 
 class TestAllExamplesCompile:
     @pytest.mark.parametrize(

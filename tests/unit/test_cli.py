@@ -91,6 +91,43 @@ class TestPackAndServe:
         assert "serve-bench: 60 mixed requests" in text
         assert "req_per_s" in text
 
+    def test_pack_shards_writes_manifest_and_shard_files(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "idx.manifest"
+        assert main([
+            "pack", str(out), "--variant", "PR", "--dataset", "uniform",
+            "--n", "600", "--fanout", "16", "--shards", "3",
+        ]) == 0
+        assert out.exists()
+        assert len(list(tmp_path.glob("idx.manifest.shard*"))) == 3
+        text = capsys.readouterr().out
+        assert "3 shards" in text
+        assert "shard manifest" in text
+
+    def test_serve_bench_over_shard_manifest(self, tmp_path, capsys):
+        out = tmp_path / "idx.manifest"
+        assert main([
+            "pack", str(out), "--dataset", "uniform", "--n", "600",
+            "--fanout", "16", "--shards", "3",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve-bench", "--index", str(out), "--requests", "40",
+            "--batch-size", "20", "--cache-pages", "16", "--workers", "2",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "3 shards" in text
+        assert "per-shard balance" in text
+
+    def test_serve_bench_builds_temporary_sharded_index(self, capsys):
+        assert main([
+            "serve-bench", "--requests", "30", "--batch-size", "15",
+            "--dataset", "uniform", "--n", "400", "--shards", "2",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "2 shards" in text
+
     def test_serve_bench_builds_temporary_index(self, capsys):
         assert main([
             "serve-bench", "--requests", "30", "--batch-size", "15",

@@ -1,0 +1,89 @@
+"""Documentation integrity: links resolve, runnable snippets execute.
+
+Drives ``tools/check_docs.py`` — the same checks the CI docs job runs —
+so a broken intra-repo link or a docs example that stopped working
+fails the tier-1 suite locally too.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_tree_exists():
+    expected = {
+        "architecture.md",
+        "storage-format.md",
+        "query-engine.md",
+        "server.md",
+        "benchmarks.md",
+        "io-accounting.md",
+    }
+    present = {p.name for p in (REPO_ROOT / "docs").glob("*.md")}
+    assert expected <= present, expected - present
+
+
+def test_readme_links_every_docs_page():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+        assert f"docs/{page.name}" in readme, (
+            f"README does not link docs/{page.name}"
+        )
+
+
+def test_intra_repo_links_resolve():
+    assert check_docs.check_links() == []
+
+
+def test_docs_have_runnable_snippets():
+    snippets = check_docs.runnable_snippets()
+    assert len(snippets) >= 4
+    # Every snippet is tagged in a docs page or the README.
+    assert all(path.suffix == ".md" for path, _, _ in snippets)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    check_docs.runnable_snippets(),
+    ids=lambda s: f"{s[0].name}#{s[1]}",
+)
+def test_runnable_snippet_executes(snippet, tmp_path):
+    path, index, source = snippet
+    import os
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", source],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{path.name} snippet #{index} failed:\n{proc.stderr}"
+    )
+
+
+def test_checker_cli_passes():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py"),
+         "--links"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr + proc.stdout
+    assert "OK" in proc.stdout

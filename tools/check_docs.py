@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Documentation checks: link integrity and runnable snippets.
+
+Two checks over ``README.md`` and ``docs/*.md`` (stdlib only, used both
+by the CI docs job and by ``tests/unit/test_docs.py``):
+
+* **Links** — every intra-repo Markdown link (``[text](relative/path)``)
+  must resolve to an existing file or directory, after stripping any
+  ``#anchor``.  External (``http(s)://``, ``mailto:``) and pure-anchor
+  links are skipped.
+* **Snippets** — every fenced code block tagged ``python run`` is
+  executed in a subprocess with ``PYTHONPATH=src`` from a temporary
+  working directory; a non-zero exit fails the check.  Tag a block
+  plain ``python`` to keep it illustrative-only.
+
+Run from the repository root::
+
+    python tools/check_docs.py            # both checks
+    python tools/check_docs.py --links    # links only (fast)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Markdown inline links: [text](target).  Images ![alt](target) match
+#: too via the optional bang.  Targets with spaces are not used here.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: Fenced blocks whose info string marks them runnable.
+_RUNNABLE = re.compile(r"```python run\n(.*?)```", re.DOTALL)
+#: Schemes that are not intra-repo files.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: pathlib.Path = REPO_ROOT) -> list[pathlib.Path]:
+    """The documentation set under check: README plus the docs tree."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links(root: pathlib.Path = REPO_ROOT) -> list[str]:
+    """Return one error string per broken intra-repo link."""
+    errors = []
+    for path in markdown_files(root):
+        for match in _LINK.finditer(path.read_text()):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(root)}: broken link -> {target}"
+                )
+    return errors
+
+
+def runnable_snippets(
+    root: pathlib.Path = REPO_ROOT,
+) -> list[tuple[pathlib.Path, int, str]]:
+    """Every ``python run`` block as (file, index, source)."""
+    snippets = []
+    for path in markdown_files(root):
+        for i, match in enumerate(_RUNNABLE.finditer(path.read_text())):
+            snippets.append((path, i, match.group(1)))
+    return snippets
+
+
+def check_snippets(root: pathlib.Path = REPO_ROOT) -> list[str]:
+    """Execute every runnable snippet; return one error per failure."""
+    errors = []
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as tmp:
+        for path, index, source in runnable_snippets(root):
+            proc = subprocess.run(
+                [sys.executable, "-c", source],
+                cwd=tmp,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            if proc.returncode != 0:
+                errors.append(
+                    f"{path.relative_to(root)} snippet #{index}: "
+                    f"exit {proc.returncode}\n{proc.stderr.strip()}"
+                )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--links", action="store_true", help="check links only"
+    )
+    args = parser.parse_args(argv)
+
+    files = markdown_files()
+    errors = check_links()
+    snippets = 0
+    if not args.links:
+        snippets = len(runnable_snippets())
+        errors += check_snippets()
+
+    for error in errors:
+        print(f"FAIL {error}", file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown files, "
+        f"{snippets} runnable snippets: "
+        + ("OK" if not errors else f"{len(errors)} error(s)")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
