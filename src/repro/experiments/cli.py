@@ -10,6 +10,7 @@ Usage (installed or from a checkout)::
     python -m repro pack index.manifest --shards 4 --n 50000
     python -m repro serve-bench --index index.pack --requests 1000
     python -m repro serve-bench --shards 4 --workers 4 --requests 1000
+    python -m repro serve-async --shards 4 --rates 200,1000,4000 --mmap
     python -m repro update-bench --updates 1000 --n 20000
 
 ``run all`` executes every experiment with its defaults and writes each
@@ -18,6 +19,8 @@ rendered table to the output directory (or stdout when none is given).
 or, with ``--shards K``, to K Hilbert-range shard files behind a
 manifest; ``serve-bench`` reopens either shape as a lazily paged tree
 and drives a mixed batched workload through the query server;
+``serve-async`` sweeps open-loop arrival rates through the asyncio
+serving layer and reports p50/p95/p99 end-to-end latency per rate;
 ``update-bench`` measures dynamic inserts/deletes on a packed index
 (dirty-page write-back) and the post-update query degradation versus a
 fresh bulk-load.
@@ -48,6 +51,7 @@ from repro.experiments.report import Table
 from repro.experiments.serving import (
     DATASETS,
     pack_index,
+    serve_async_bench,
     serve_bench,
     update_bench,
 )
@@ -69,6 +73,53 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Table], tuple[str, ...], str]] = {
     "join": (join_experiment, ("n", "fanout"), "spatial-join cost by variant"),
     "point": (point_experiment, ("n", "fanout", "queries"), "stabbing-query cost by variant"),
 }
+
+
+def _add_serving_index_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by ``serve-bench`` and ``serve-async``: which
+    index to serve (or how to pack the temporary one), the page-cache
+    budget, mmap, and the workload seed."""
+    parser.add_argument(
+        "--index",
+        type=pathlib.Path,
+        help=(
+            "a `repro pack` output (single file or shard manifest, "
+            "auto-detected); omitted: pack a temporary index first"
+        ),
+    )
+    parser.add_argument(
+        "--cache-pages",
+        dest="cache_pages",
+        type=int,
+        default=256,
+        help="decoded-page budget of the LRU page cache",
+    )
+    parser.add_argument(
+        "--variant", default="PR", choices=["H", "H4", "PR", "TGS", "STR"],
+        help="variant for the temporary index (no --index)",
+    )
+    parser.add_argument(
+        "--dataset", default="tiger-east", choices=sorted(DATASETS),
+        help="dataset for the temporary index (no --index)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=20_000,
+        help="size of the temporary index (no --index)",
+    )
+    parser.add_argument(
+        "--block-size", dest="block_size", type=int, default=4096,
+        help="block size of the temporary index (no --index)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="shard count of the temporary index (no --index)",
+    )
+    parser.add_argument(
+        "--mmap",
+        action="store_true",
+        help="serve the index file(s) from memory mappings",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,14 +198,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive a mixed batched workload through a paged index",
     )
     serve.add_argument(
-        "--index",
-        type=pathlib.Path,
-        help=(
-            "a `repro pack` output (single file or shard manifest, "
-            "auto-detected); omitted: pack a temporary index first"
-        ),
-    )
-    serve.add_argument(
         "--requests", type=int, default=1000, help="total requests"
     )
     serve.add_argument(
@@ -165,36 +208,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests per batch",
     )
     serve.add_argument(
-        "--cache-pages",
-        dest="cache_pages",
-        type=int,
-        default=256,
-        help="decoded-page budget of the LRU page cache",
-    )
-    serve.add_argument(
         "--workers", type=int, default=1, help="request-group threads"
     )
-    serve.add_argument(
-        "--variant", default="PR", choices=["H", "H4", "PR", "TGS", "STR"],
-        help="variant for the temporary index (no --index)",
+    _add_serving_index_args(serve)
+
+    serve_async = sub.add_parser(
+        "serve-async",
+        help=(
+            "open-loop latency-vs-arrival-rate sweep through the asyncio "
+            "serving layer (queueing, admission control, percentiles)"
+        ),
     )
-    serve.add_argument(
-        "--dataset", default="tiger-east", choices=sorted(DATASETS),
-        help="dataset for the temporary index (no --index)",
+    serve_async.add_argument(
+        "--rates",
+        default="200,500,1000,2000",
+        help="comma-separated arrival rates (requests/second) to sweep",
     )
-    serve.add_argument(
-        "--n", type=int, default=20_000,
-        help="size of the temporary index (no --index)",
+    serve_async.add_argument(
+        "--requests", type=int, default=500, help="requests per rate"
     )
-    serve.add_argument(
-        "--block-size", dest="block_size", type=int, default=4096,
-        help="block size of the temporary index (no --index)",
+    serve_async.add_argument(
+        "--write-frac",
+        dest="write_frac",
+        type=float,
+        default=None,
+        help=(
+            "fraction of the stream that is inserts/deletes (default "
+            "0.1 for a temporary index, 0 when --index is given — "
+            "writes permanently mutate the served index, so mutating "
+            "a user-supplied file requires asking for it)"
+        ),
     )
-    serve.add_argument(
-        "--shards", type=int, default=1,
-        help="shard count of the temporary index (no --index)",
+    serve_async.add_argument(
+        "--max-batch",
+        dest="max_batch",
+        type=int,
+        default=64,
+        help="most requests coalesced into one batch",
     )
-    serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve_async.add_argument(
+        "--flush-ms",
+        dest="flush_ms",
+        type=float,
+        default=2.0,
+        help="max milliseconds a queued read waits before a partial batch ships",
+    )
+    serve_async.add_argument(
+        "--max-queue-reads",
+        dest="max_pending_reads",
+        type=int,
+        default=256,
+        help="read-lane admission bound (queued requests)",
+    )
+    serve_async.add_argument(
+        "--max-queue-writes",
+        dest="max_pending_writes",
+        type=int,
+        default=64,
+        help="write-lane admission bound (queued requests)",
+    )
+    serve_async.add_argument(
+        "--admission",
+        choices=["reject", "backpressure"],
+        default="reject",
+        help="behaviour at the admission bound",
+    )
+    serve_async.add_argument(
+        "--executor-workers",
+        dest="executor_workers",
+        type=int,
+        default=4,
+        help="thread-pool width = concurrently executing read batches",
+    )
+    _add_serving_index_args(serve_async)
 
     update = sub.add_parser(
         "update-bench",
@@ -308,6 +394,52 @@ def main(argv: list[str] | None = None) -> int:
             block_size=args.block_size,
             seed=args.seed,
             shards=args.shards,
+            mmap=args.mmap,
+        )
+        print(table.render())
+        return 0
+
+    if args.command == "serve-async":
+        try:
+            rates = tuple(
+                float(rate) for rate in args.rates.split(",") if rate.strip()
+            )
+        except ValueError:
+            print(f"invalid --rates {args.rates!r}", file=sys.stderr)
+            return 2
+        if not rates:
+            print("--rates lists no rates", file=sys.stderr)
+            return 2
+        if any(rate <= 0 for rate in rates):
+            print(
+                f"--rates must be positive, got {args.rates!r}",
+                file=sys.stderr,
+            )
+            return 2
+        write_frac = args.write_frac
+        if write_frac is None:
+            # A temporary index is disposable; a user-supplied one must
+            # not be mutated without an explicit --write-frac.
+            write_frac = 0.1 if args.index is None else 0.0
+        table = serve_async_bench(
+            index=args.index,
+            rates=rates,
+            requests=args.requests,
+            write_frac=write_frac,
+            max_batch=args.max_batch,
+            flush_ms=args.flush_ms,
+            max_pending_reads=args.max_pending_reads,
+            max_pending_writes=args.max_pending_writes,
+            admission=args.admission,
+            executor_workers=args.executor_workers,
+            cache_pages=args.cache_pages,
+            variant=args.variant,
+            dataset=args.dataset,
+            n=args.n,
+            block_size=args.block_size,
+            seed=args.seed,
+            shards=args.shards,
+            mmap=args.mmap,
         )
         print(table.render())
         return 0

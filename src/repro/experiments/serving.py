@@ -30,11 +30,13 @@ Three entry points behind the ``repro pack``, ``repro serve-bench`` and
 
 from __future__ import annotations
 
+import asyncio
 import pathlib
 import random
 import tempfile
 import time
 from collections import Counter
+from typing import Sequence
 
 from repro.datasets.synthetic import uniform_rects
 from repro.datasets.tiger import tiger_dataset
@@ -56,14 +58,17 @@ from repro.server import (
     Request,
     WindowRequest,
 )
+from repro.service import AsyncQueryService, LatencyHistogram, ServiceStats, open_loop
 from repro.storage import PagedTree, ShardedTree, open_index, pack_tree, shard_pack
 from repro.workloads.queries import square_queries
 
 __all__ = [
     "pack_index",
     "serve_bench",
+    "serve_async_bench",
     "update_bench",
     "mixed_requests",
+    "mixed_service_stream",
     "mixed_update_requests",
     "DATASETS",
 ]
@@ -213,6 +218,7 @@ def serve_bench(
     block_size: int = 4096,
     seed: int = 0,
     shards: int = 1,
+    mmap: bool = False,
 ) -> Table:
     """Drive a mixed batched workload through a paged index file.
 
@@ -220,7 +226,14 @@ def serve_bench(
     (``variant``/``dataset``/``n``/``shards`` control it); otherwise
     the given ``repro pack`` output — a single index file or a shard
     manifest, auto-detected — is served as-is.  A sharded index adds a
-    per-shard I/O-balance note to the table.
+    per-shard I/O-balance note to the table; ``mmap=True`` serves the
+    file(s) from memory mappings.
+
+    Each batch row carries the executed requests' p50/p95/p99 latency,
+    and the footnotes digest the whole run per request kind — both via
+    the same :class:`~repro.service.stats.ServiceStats` histograms the
+    async path reports, so the sync and async tables share one metrics
+    vocabulary (``docs/async-serving.md``).
     """
     tmpdir: tempfile.TemporaryDirectory | None = None
     if index is None:
@@ -242,7 +255,9 @@ def serve_bench(
         # The mixed workload is read-only; opening read-only both allows
         # serving an index the process cannot write (e.g. a read-only
         # mount) and guarantees the benchmark leaves the files untouched.
-        with open_index(index, cache_pages=cache_pages, readonly=True) as tree:
+        with open_index(
+            index, cache_pages=cache_pages, readonly=True, mmap=mmap
+        ) as tree:
             server = QueryServer(tree, workers=workers)
             bounds = tree.root().mbr()
             stream = mixed_requests(bounds, count=requests, seed=seed + 1)
@@ -253,17 +268,25 @@ def serve_bench(
                     f"serve-bench: {requests} mixed requests, "
                     f"batches of {batch_size}, {cache_pages}-page cache"
                     + (f", {tree.n_shards} shards" if sharded else "")
+                    + (", mmap" if mmap else "")
                 ),
                 headers=[
                     "batch", "requests", "executed", "dedup",
                     "leaf_ios", "internal_reads", "physical_reads",
-                    "latency_ms", "req_per_s",
+                    "latency_ms", "p50_ms", "p95_ms", "p99_ms", "req_per_s",
                 ],
             )
+            run_stats = ServiceStats()
             totals = {"leaf": 0, "phys": 0, "lat": 0.0, "reqs": 0}
             for b in range(0, len(stream), batch_size):
                 batch = stream[b : b + batch_size]
                 report = server.submit(batch)
+                kind_latencies = report.kind_latencies()
+                batch_hist = LatencyHistogram()
+                for latencies in kind_latencies.values():
+                    for latency in latencies:
+                        batch_hist.observe(latency)
+                run_stats.observe_kind_latencies(kind_latencies)
                 table.add_row(
                     b // batch_size,
                     report.requests,
@@ -273,6 +296,9 @@ def serve_bench(
                     report.internal_reads,
                     report.physical_reads,
                     report.latency_s * 1000.0,
+                    batch_hist.percentile(50) * 1000.0,
+                    batch_hist.percentile(95) * 1000.0,
+                    batch_hist.percentile(99) * 1000.0,
                     report.throughput_rps,
                 )
                 totals["leaf"] += report.leaf_ios
@@ -283,6 +309,14 @@ def serve_bench(
                 f"index: {index} (size={tree.size}, height={tree.height}, "
                 f"fanout={tree.fanout})"
             )
+            for summary in run_stats.kind_summaries():
+                table.add_note(
+                    f"{summary.kind}: n={summary.count}, "
+                    f"p50={summary.p50_ms:.3f}ms, "
+                    f"p95={summary.p95_ms:.3f}ms, "
+                    f"p99={summary.p99_ms:.3f}ms "
+                    f"(executed-request latency)"
+                )
             if totals["lat"] > 0:
                 table.add_note(
                     f"overall: {totals['reqs'] / totals['lat']:,.0f} req/s, "
@@ -299,6 +333,201 @@ def serve_bench(
                         f"{load.busy_s * 1000:.0f}"
                         for i, load in enumerate(loads)
                     )
+                )
+            return table
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+
+def mixed_service_stream(
+    bounds: Rect,
+    count: int = 1000,
+    write_frac: float = 0.1,
+    area_percent: float = 0.25,
+    k: int = 10,
+    seed: int = 0,
+    index: str = DEFAULT_INDEX,
+    value_prefix: str = "svc",
+) -> list[Request]:
+    """A reproducible open-loop stream: mixed reads plus interleaved writes.
+
+    ``write_frac`` of the stream are writes — inserts of small fresh
+    rectangles inside ``bounds``, and deletes of rectangles this same
+    stream inserted earlier (values are namespaced by ``value_prefix``,
+    so concurrent streams never delete each other's data).  The rest is
+    the :func:`mixed_requests` read mix.
+    """
+    if not 0.0 <= write_frac <= 1.0:
+        raise ValueError("write_frac must be in [0, 1]")
+    rng = random.Random(seed)
+    reads = mixed_requests(
+        bounds,
+        count=count,
+        area_percent=area_percent,
+        k=k,
+        seed=seed,
+        index=index,
+    )
+    if write_frac == 0.0:
+        return reads
+
+    def fresh_rect() -> Rect:
+        lo = tuple(
+            low + rng.random() * (high - low) * 0.99
+            for low, high in zip(bounds.lo, bounds.hi)
+        )
+        side = tuple((high - low) * 0.002 for low, high in zip(bounds.lo, bounds.hi))
+        return Rect(lo, tuple(c + s for c, s in zip(lo, side)))
+
+    stream: list[Request] = []
+    inserted: list[tuple[Rect, str]] = []
+    serial = 0
+    for request in reads:
+        if rng.random() < write_frac:
+            if inserted and rng.random() < 0.5:
+                rect, value = inserted.pop(rng.randrange(len(inserted)))
+                stream.append(DeleteRequest(rect, value, index=index))
+            else:
+                rect, value = fresh_rect(), f"{value_prefix}-{seed}-{serial}"
+                serial += 1
+                inserted.append((rect, value))
+                stream.append(InsertRequest(rect, value, index=index))
+        else:
+            stream.append(request)
+    return stream
+
+
+def serve_async_bench(
+    index: str | pathlib.Path | None = None,
+    rates: Sequence[float] = (200.0, 500.0, 1000.0, 2000.0),
+    requests: int = 500,
+    write_frac: float = 0.1,
+    max_batch: int = 64,
+    flush_ms: float = 2.0,
+    max_pending_reads: int = 256,
+    max_pending_writes: int = 64,
+    admission: str = "reject",
+    executor_workers: int = 4,
+    cache_pages: int = 256,
+    variant: str = "PR",
+    dataset: str = "tiger-east",
+    n: int = 20_000,
+    fanout: int | None = None,
+    block_size: int = 4096,
+    seed: int = 0,
+    shards: int = 1,
+    mmap: bool = False,
+) -> Table:
+    """Open-loop latency-vs-arrival-rate sweep through the async service.
+
+    For each rate, a fresh :class:`~repro.service.AsyncQueryService`
+    fronts the index and an open-loop generator
+    (:func:`~repro.service.open_loop`) offers ``requests`` mixed
+    read/write requests at that Poisson arrival rate; the row records
+    what came back — completions, admission rejections, achieved
+    throughput, and the streaming p50/p95/p99 (end-to-end: queue wait
+    plus batch execution).  The page cache persists across rates (a
+    warm service is the steady state being measured); queue depth and
+    the tail percentiles are where saturation shows first.
+    """
+    tmpdir: tempfile.TemporaryDirectory | None = None
+    if index is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-async-")
+        index = pathlib.Path(tmpdir.name) / (
+            "index.manifest" if shards > 1 else "index.pack"
+        )
+        pack_index(
+            index,
+            variant=variant,
+            dataset=dataset,
+            n=n,
+            fanout=fanout,
+            block_size=block_size,
+            seed=seed,
+            shards=shards,
+        )
+    try:
+        writable = write_frac > 0.0
+        with open_index(
+            index,
+            cache_pages=cache_pages,
+            readonly=not writable,
+            mmap=mmap,
+        ) as tree:
+            sharded = isinstance(tree, ShardedTree)
+            bounds = tree.root().mbr()
+            table = Table(
+                title=(
+                    f"serve-async: open-loop sweep, {requests} requests/rate "
+                    f"({write_frac:.0%} writes), max_batch={max_batch}, "
+                    f"flush={flush_ms:g}ms, admission={admission}"
+                    + (f", {tree.n_shards} shards" if sharded else "")
+                    + (", mmap" if mmap else "")
+                ),
+                headers=[
+                    "rate_rps", "offered", "completed", "rejected",
+                    "achieved_rps", "p50_ms", "p95_ms", "p99_ms",
+                    "max_queue", "batches",
+                ],
+            )
+
+            async def run_rate(rate: float, rate_seed: int):
+                service = AsyncQueryService(
+                    tree,
+                    max_batch=max_batch,
+                    flush_interval=flush_ms / 1000.0,
+                    max_pending_reads=max_pending_reads,
+                    max_pending_writes=max_pending_writes,
+                    admission=admission,
+                    executor_workers=executor_workers,
+                )
+                stream = mixed_service_stream(
+                    bounds,
+                    count=requests,
+                    write_frac=write_frac,
+                    seed=rate_seed,
+                    value_prefix=f"bench{rate_seed}",
+                )
+                async with service:
+                    report = await open_loop(
+                        service, stream, rate, seed=rate_seed
+                    )
+                return report, service.stats
+
+            for i, rate in enumerate(rates):
+                report, stats = asyncio.run(run_rate(rate, seed + i + 1))
+                overall = stats.overall
+                table.add_row(
+                    rate,
+                    report.offered,
+                    report.completed,
+                    report.rejected,
+                    report.achieved_rps,
+                    overall.percentile(50) * 1000.0,
+                    overall.percentile(95) * 1000.0,
+                    overall.percentile(99) * 1000.0,
+                    stats.max_queue_depth,
+                    stats.batches,
+                )
+                if report.errors:
+                    table.add_note(
+                        f"rate {rate:g}: {report.errors} errors — "
+                        + "; ".join(report.error_samples)
+                    )
+            table.add_note(
+                f"index: {index} (size={tree.size}, height={tree.height}, "
+                f"fanout={tree.fanout})"
+            )
+            table.add_note(
+                "latency is end-to-end (admission -> response): queue wait "
+                "+ batch execution; percentiles are streaming histogram "
+                "estimates (docs/async-serving.md)"
+            )
+            if writable:
+                table.add_note(
+                    "writes mutate the served index; each rate inserts "
+                    "namespaced fresh rectangles and deletes only its own"
                 )
             return table
     finally:

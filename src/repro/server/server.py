@@ -140,6 +140,23 @@ class BatchReport:
         """Just the payloads, in submission order."""
         return [r.value for r in self.results]
 
+    def kind_latencies(self) -> dict[str, list[float]]:
+        """Executed-request latencies (seconds) grouped by request kind.
+
+        Duplicates answered from the dedup table are skipped — they
+        cost nothing and would drag percentiles toward zero.  This is
+        the feed for :class:`~repro.service.stats.ServiceStats`, the
+        shared latency vocabulary of the sync and async serving paths.
+        """
+        by_kind: dict[str, list[float]] = {}
+        for result in self.results:
+            if result.deduped:
+                continue
+            by_kind.setdefault(result.request.kind, []).append(
+                result.latency_s
+            )
+        return by_kind
+
     def __repr__(self) -> str:
         return (
             f"BatchReport(requests={self.requests}, executed={self.executed}, "
@@ -218,6 +235,20 @@ class QueryServer:
         """Register (or replace) a named index."""
         self.indexes[name] = tree
         self._invalidate(name)
+
+    def invalidate(self, name: str | None = None) -> None:
+        """Drop warm engines/bounds for ``name`` (or every index).
+
+        Call after an index was mutated *outside* this server — e.g. the
+        async service applies a write batch on one pool member and
+        invalidates the read-only members, whose warm engines still
+        pool pre-update internal nodes.
+        """
+        if name is not None:
+            self._invalidate(name)
+            return
+        self._engines.clear()
+        self._bounds.clear()
 
     def _invalidate(self, name: str) -> None:
         """Drop warm engines and cached bounds that observed ``name``.

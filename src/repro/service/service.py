@@ -1,0 +1,511 @@
+"""The asyncio serving layer: individual requests in, batches out.
+
+The batched :class:`~repro.server.QueryServer` is a throughput machine
+but a synchronous one — independent clients serialize behind each
+other's batches.  :class:`AsyncQueryService` puts an asyncio front end
+in front of the same stack so *many concurrent clients* each submit
+individual requests and await individual responses, while the service
+recovers the batch efficiencies underneath:
+
+* **Coalescing.**  Accepted requests queue in two priority lanes
+  (reads vs writes) and are shipped as batches when one fills to
+  ``max_batch`` or the oldest queued request has waited
+  ``flush_interval`` seconds — the classic size-or-time window.
+* **Overlapping reads, ordered writes.**  Read batches execute on a
+  thread-pool executor, each on its own warm
+  :class:`~repro.server.QueryServer` from a fixed pool, so several
+  read batches are in flight at once.  Write batches are *exclusive*:
+  the dispatcher quiesces in-flight reads, applies the writes in
+  admission (FIFO) order on a dedicated writer server, invalidates the
+  read servers' warm engines for the mutated indexes, and only then
+  lets reads resume — so writes retain submission order globally and a
+  client that awaited its write always reads its own writes.
+* **Admission control.**  Each lane has a queue-depth bound.  Past it,
+  ``admission="reject"`` fails fast with :class:`AdmissionError`
+  (load-shedding, the open-loop benchmark's mode) and
+  ``admission="backpressure"`` suspends the submitting coroutine until
+  space frees (closed-loop clients slow down instead of piling up).
+
+Every response is a :class:`ServiceResponse` carrying the request's
+own end-to-end latency split into queue wait and execution; the
+service-wide :class:`~repro.service.stats.ServiceStats` maintains
+streaming p50/p95/p99 per request kind, throughput, queue depth and
+rejection counts.  ``docs/async-serving.md`` walks through the model.
+
+Thread-safety contract (audited in ``storage/``): the paged read path
+(:class:`~repro.storage.paged.PagedNodeStore`) and the file layer
+(:class:`~repro.storage.filestore.FileBlockStore`) are fully locked, so
+any number of pool servers may read one shared tree handle
+concurrently.  A :class:`~repro.server.QueryServer` *instance* is
+single-batch — warm engines accumulate per-query statistics — which is
+exactly why the pool hands each in-flight batch its own server.  Tree
+mutation (``insert``/``delete``/``sync``) is not safe against
+concurrent readers — an update can split pages mid-descent — which is
+why write batches run with the read lanes quiesced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.rtree.tree import RTree
+from repro.server.requests import DeleteRequest, InsertRequest, Request
+from repro.server.server import QueryServer
+from repro.service.stats import ServiceStats
+from repro.storage.shard import ShardedTree
+
+__all__ = [
+    "AdmissionError",
+    "ServiceClosed",
+    "ServiceResponse",
+    "AsyncQueryService",
+]
+
+#: Request kinds that go down the write lane.
+_WRITE_KINDS = (InsertRequest, DeleteRequest)
+
+
+class AdmissionError(RuntimeError):
+    """The request was refused: its lane is at the admission bound.
+
+    Raised by :meth:`AsyncQueryService.submit` in ``"reject"`` mode —
+    the fast-fail half of admission control.  ``lane`` is ``"read"`` or
+    ``"write"``.
+    """
+
+    def __init__(self, lane: str, bound: int) -> None:
+        super().__init__(
+            f"{lane} lane is at its admission bound ({bound} queued)"
+        )
+        self.lane = lane
+        self.bound = bound
+
+
+class ServiceClosed(RuntimeError):
+    """The service is shut (or shutting) down and accepts no requests."""
+
+
+@dataclass
+class ServiceResponse:
+    """One answered request, with its own latency breakdown.
+
+    Attributes
+    ----------
+    request:
+        The request this response answers.
+    value:
+        The operator payload, exactly as
+        :attr:`~repro.server.requests.RequestResult.value` defines it.
+    stats:
+        The operator's statistics object for this request.
+    latency_s:
+        End-to-end seconds from admission to response — queue wait plus
+        batch execution.  This is what the service percentiles are made
+        of.
+    queue_s:
+        Seconds the request waited in its lane before its batch
+        started.
+    engine_s:
+        Seconds the executing engine spent on this request inside the
+        batch (0.0 when it was answered from the batch dedup table).
+    batch_size:
+        How many requests shared the batch.
+    """
+
+    request: Request
+    value: Any
+    stats: Any
+    latency_s: float
+    queue_s: float
+    engine_s: float
+    batch_size: int
+
+
+class _Pending:
+    """A queued request and the future its client awaits."""
+
+    __slots__ = ("request", "future", "enqueued_at")
+
+    def __init__(
+        self, request: Request, future: "asyncio.Future[ServiceResponse]"
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class AsyncQueryService:
+    """Asyncio front end over a pool of batched query servers.
+
+    Parameters
+    ----------
+    indexes:
+        One tree or a name → tree mapping, exactly as
+        :class:`~repro.server.QueryServer` accepts.  The same tree
+        handles are shared by every pool server (the paged read path is
+        locked).
+    max_batch:
+        Most requests coalesced into one batch.
+    flush_interval:
+        Seconds the oldest queued read may wait before a partial batch
+        ships anyway.  Writes always ship at the next dispatch round —
+        they are latency-critical for read-your-writes clients.
+    max_pending_reads / max_pending_writes:
+        Admission bound per lane: the most requests that may be queued
+        (not yet batched) before admission control engages.
+    admission:
+        ``"reject"`` fails fast with :class:`AdmissionError` at the
+        bound; ``"backpressure"`` suspends the submitter until space
+        frees.
+    executor_workers:
+        Thread-pool width *and* read-server pool size — the number of
+        read batches that can be in flight at once.
+    dedup / reorder:
+        Passed through to the underlying servers (see
+        :class:`~repro.server.QueryServer`).
+    sync_writes:
+        Unlike the batch server, the service defaults to **False**:
+        syncing every write batch (dirty-page flush on every mutated
+        index plus, for a sharded family, an atomic manifest rewrite)
+        puts filesystem latency on the serving path while reads are
+        quiesced — measured spikes of 100 ms stall every lane.  With
+        write-back deferred, readers still observe every write
+        immediately (dirty pages are served from the page cache, under
+        its lock); durability points are the index owner's ``sync()`` /
+        ``close()``.  Set True to make every write batch a consistency
+        point, accepting the tail.
+    server_workers:
+        ``workers`` for each pool server: >1 additionally fans one
+        sharded request across its shards.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`aclose` explicitly.  :meth:`submit` starts the dispatcher
+    lazily, so short scripts can skip :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        indexes: RTree | ShardedTree | Mapping[str, Any],
+        max_batch: int = 64,
+        flush_interval: float = 0.002,
+        max_pending_reads: int = 1024,
+        max_pending_writes: int = 256,
+        admission: str = "reject",
+        executor_workers: int = 4,
+        dedup: bool = True,
+        reorder: bool = True,
+        sync_writes: bool = False,
+        server_workers: int = 1,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if flush_interval < 0:
+            raise ValueError("flush_interval must be >= 0")
+        if max_pending_reads < 1 or max_pending_writes < 1:
+            raise ValueError("admission bounds must be >= 1")
+        if admission not in ("reject", "backpressure"):
+            raise ValueError(
+                "admission must be 'reject' or 'backpressure', "
+                f"not {admission!r}"
+            )
+        if executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
+        self.max_batch = max_batch
+        self.flush_interval = flush_interval
+        self.max_pending_reads = max_pending_reads
+        self.max_pending_writes = max_pending_writes
+        self.admission = admission
+        self.executor_workers = executor_workers
+        self.stats = ServiceStats()
+
+        self._writer = QueryServer(
+            indexes,
+            dedup=dedup,
+            reorder=reorder,
+            workers=server_workers,
+            sync_writes=sync_writes,
+        )
+        # Read pool members share the writer's (normalized) catalog and
+        # tree handles; each in-flight read batch owns one member, so
+        # warm engines are never shared between concurrent batches.
+        self._read_pool = [
+            QueryServer(
+                self._writer.indexes,
+                dedup=dedup,
+                reorder=reorder,
+                workers=server_workers,
+                sync_writes=sync_writes,
+            )
+            for _ in range(executor_workers)
+        ]
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers,
+            thread_name_prefix="repro-service",
+        )
+
+        self._reads: deque[_Pending] = deque()
+        self._writes: deque[_Pending] = deque()
+        self._inflight: set[asyncio.Task] = set()
+        self._idle_servers: deque[QueryServer] = deque(self._read_pool)
+        self._wakeup = asyncio.Event()
+        self._server_freed = asyncio.Event()
+        self._space = asyncio.Condition()
+        self._dispatcher: asyncio.Task | None = None
+        self._closing = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatcher task (idempotent; needs a running loop)."""
+        if self._closing:
+            raise ServiceClosed("the service is shut down")
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch(), name="repro-service-dispatcher"
+            )
+
+    async def aclose(self) -> None:
+        """Drain queued requests, stop the dispatcher, free the executor.
+
+        Requests already admitted are still answered; new submissions
+        raise :class:`ServiceClosed`.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closing = True
+        self._wakeup.set()
+        async with self._space:
+            self._space.notify_all()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncQueryService":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (admitted, not yet batched)."""
+        return len(self._reads) + len(self._writes)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def _lane(self, request: Request) -> tuple[deque, int, str]:
+        if isinstance(request, _WRITE_KINDS):
+            return self._writes, self.max_pending_writes, "write"
+        return self._reads, self.max_pending_reads, "read"
+
+    async def submit(self, request: Request) -> ServiceResponse:
+        """Submit one request; await its :class:`ServiceResponse`.
+
+        Applies admission control at the lane bound: ``"reject"`` mode
+        raises :class:`AdmissionError` immediately, ``"backpressure"``
+        mode suspends until the lane drains.  Raises
+        :class:`ServiceClosed` once :meth:`aclose` has begun.
+        """
+        if self._closing:
+            raise ServiceClosed("the service is shut down")
+        self.start()
+        lane, bound, name = self._lane(request)
+        if len(lane) >= bound:
+            if self.admission == "reject":
+                if name == "write":
+                    self.stats.rejected_writes += 1
+                else:
+                    self.stats.rejected_reads += 1
+                raise AdmissionError(name, bound)
+            async with self._space:
+                await self._space.wait_for(
+                    lambda: len(lane) < bound or self._closing
+                )
+            if self._closing:
+                raise ServiceClosed("the service is shut down")
+        pending = _Pending(
+            request, asyncio.get_running_loop().create_future()
+        )
+        lane.append(pending)
+        self.stats.submitted += 1
+        self.stats.note_queue_depth(self.queue_depth)
+        self._wakeup.set()
+        return await pending.future
+
+    async def submit_many(
+        self, requests: Sequence[Request]
+    ) -> list[ServiceResponse]:
+        """Submit several requests concurrently and await all responses.
+
+        A convenience for closed-loop clients; rejections and errors
+        propagate as the corresponding exception.
+        """
+        return list(
+            await asyncio.gather(*(self.submit(r) for r in requests))
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self) -> None:
+        """The single dispatcher: forms batches and schedules them.
+
+        Being the only task that launches batches is what makes write
+        exclusivity cheap: a write batch is simply awaited inline after
+        the in-flight reads drain, so no lock protects the tree.
+        """
+        while True:
+            if not self._reads and not self._writes:
+                if self._closing:
+                    break
+                self._wakeup.clear()
+                # Re-check after clear: a submit between the check and
+                # the clear must not be lost.
+                if not self._reads and not self._writes and not self._closing:
+                    await self._wakeup.wait()
+                continue
+
+            if self._writes:
+                batch = self._drain(self._writes)
+                await self._notify_space()
+                await self._quiesce()
+                await self._run_batch(self._writer, batch, write=True)
+                continue
+
+            batch = await self._coalesce_reads()
+            await self._notify_space()
+            if not batch:
+                continue
+            server = await self._acquire_server()
+            task = asyncio.get_running_loop().create_task(
+                self._run_batch(server, batch, write=False)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+        await self._quiesce()
+
+    def _drain(self, lane: deque) -> list[_Pending]:
+        batch = []
+        while lane and len(batch) < self.max_batch:
+            batch.append(lane.popleft())
+        self.stats.note_queue_depth(self.queue_depth)
+        return batch
+
+    async def _coalesce_reads(self) -> list[_Pending]:
+        """Wait for the read batch to fill or its flush window to lapse.
+
+        Returns early (shipping a partial batch) when a write arrives —
+        the write lane has priority and the dispatcher must get back to
+        it — or when the service starts closing.
+        """
+        deadline = self._reads[0].enqueued_at + self.flush_interval
+        while (
+            len(self._reads) < self.max_batch
+            and not self._writes
+            and not self._closing
+        ):
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            self._wakeup.clear()
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), remaining)
+            except asyncio.TimeoutError:
+                break
+        return self._drain(self._reads)
+
+    async def _notify_space(self) -> None:
+        """Wake backpressure waiters after a lane drained."""
+        async with self._space:
+            self._space.notify_all()
+
+    async def _quiesce(self) -> None:
+        """Wait until no read batch is in flight."""
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight))
+
+    async def _acquire_server(self) -> QueryServer:
+        """Take an idle read server, waiting for one to free up."""
+        while not self._idle_servers:
+            self._server_freed.clear()
+            if self._idle_servers:  # freed between check and clear
+                break
+            await self._server_freed.wait()
+        return self._idle_servers.popleft()
+
+    async def _run_batch(
+        self, server: QueryServer, batch: list[_Pending], write: bool
+    ) -> None:
+        """Execute one batch on the executor and resolve its futures."""
+        started = time.perf_counter()
+        requests = [pending.request for pending in batch]
+        try:
+            report = await asyncio.get_running_loop().run_in_executor(
+                self._executor, server.submit, requests
+            )
+        except Exception as exc:
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        finally:
+            if not write:
+                self._idle_servers.append(server)
+                self._server_freed.set()
+            elif requests:
+                # The tree (possibly partially, on an error) mutated
+                # under servers that did not execute the batch: their
+                # warm engines pool pre-update nodes.
+                for name in {request.index for request in requests}:
+                    for member in self._read_pool:
+                        member.invalidate(name)
+            async with self._space:
+                self._space.notify_all()
+
+        done = time.perf_counter()
+        self.stats.batches += 1
+        for pending, result in zip(batch, report.results):
+            if pending.future.done():
+                # The client gave up (e.g. wait_for cancelled the
+                # await) while the batch was in flight; the work is
+                # done either way, only the delivery is moot.
+                continue
+            latency = done - pending.enqueued_at
+            self.stats.observe(pending.request.kind, latency)
+            pending.future.set_result(
+                ServiceResponse(
+                    request=pending.request,
+                    value=result.value,
+                    stats=result.stats,
+                    latency_s=latency,
+                    queue_s=started - pending.enqueued_at,
+                    engine_s=result.latency_s,
+                    batch_size=len(batch),
+                )
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncQueryService(queued={self.queue_depth}, "
+            f"inflight={len(self._inflight)}, "
+            f"admission={self.admission!r}, {self.stats!r})"
+        )

@@ -543,6 +543,7 @@ class PagedTree(RTree):
         cache_pages: int = DEFAULT_CACHE_PAGES,
         counters: IOCounters | None = None,
         readonly: bool = False,
+        mmap: bool = False,
     ) -> "PagedTree":
         """Open a :func:`pack_tree` index file without reading the tree.
 
@@ -561,9 +562,15 @@ class PagedTree(RTree):
         readonly:
             Open the file without write access (safe for concurrent
             readers of the same file).
+        mmap:
+            Serve physical block access from a memory mapping of the
+            index file (see
+            :meth:`~repro.storage.filestore.FileBlockStore.open`) —
+            cheaper page-miss reads on hot concurrent read paths, same
+            logical and physical accounting.
         """
         file_store = FileBlockStore.open(
-            path, counters=counters, readonly=readonly
+            path, counters=counters, readonly=readonly, mmap=mmap
         )
         try:
             meta = file_store.metadata

@@ -522,6 +522,7 @@ class ShardedTree:
         values: dict[int, Any] | Callable[[int], Any] | None = None,
         cache_pages: int = DEFAULT_CACHE_PAGES,
         readonly: bool = False,
+        mmap: bool = False,
     ) -> "ShardedTree":
         """Open a :func:`shard_pack` manifest and every shard it names.
 
@@ -538,6 +539,10 @@ class ShardedTree:
         readonly:
             Open every shard without write access; :meth:`insert` /
             :meth:`delete` are rejected up front.
+        mmap:
+            Serve each shard file's physical block access from a memory
+            mapping (see
+            :meth:`~repro.storage.paged.PagedTree.open`).
 
         Raises :class:`ShardError` when the manifest is corrupt, a shard
         file is missing, or a shard file disagrees with the manifest
@@ -574,6 +579,7 @@ class ShardedTree:
                         values=values,
                         cache_pages=cache_pages,
                         readonly=readonly,
+                        mmap=mmap,
                     )
                 except StorageError as exc:
                     raise ShardError(f"{where}: {exc}") from None
@@ -907,13 +913,15 @@ def open_index(
     values: dict[int, Any] | Callable[[int], Any] | None = None,
     cache_pages: int = DEFAULT_CACHE_PAGES,
     readonly: bool = False,
+    mmap: bool = False,
 ) -> PagedTree | ShardedTree:
     """Open a packed index, whatever its shape.
 
     A :func:`shard_pack` manifest (JSON, starts with ``{``) opens as a
     :class:`ShardedTree`; anything else is treated as a single
     :func:`~repro.storage.paged.pack_tree` file and opens as a
-    :class:`~repro.storage.paged.PagedTree`.
+    :class:`~repro.storage.paged.PagedTree`.  ``mmap=True`` serves the
+    file(s) from memory mappings.
     """
     resolved = pathlib.Path(path)
     if not resolved.exists():
@@ -922,10 +930,18 @@ def open_index(
         head = handle.read(1)
     if head == b"{":
         return ShardedTree.open(
-            resolved, values=values, cache_pages=cache_pages, readonly=readonly
+            resolved,
+            values=values,
+            cache_pages=cache_pages,
+            readonly=readonly,
+            mmap=mmap,
         )
     return PagedTree.open(
-        resolved, values=values, cache_pages=cache_pages, readonly=readonly
+        resolved,
+        values=values,
+        cache_pages=cache_pages,
+        readonly=readonly,
+        mmap=mmap,
     )
 
 

@@ -1,0 +1,340 @@
+"""Unit tests for the asyncio serving layer over an in-memory tree."""
+
+import asyncio
+
+import pytest
+
+from repro import BlockStore, Rect, build_prtree
+from repro.server import (
+    CountRequest,
+    DeleteRequest,
+    InsertRequest,
+    KNNRequest,
+    PointRequest,
+    QueryServer,
+    WindowRequest,
+)
+from repro.service import (
+    AdmissionError,
+    AsyncQueryService,
+    ServiceClosed,
+)
+
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def data():
+    return random_rects(800, seed=11)
+
+
+@pytest.fixture
+def tree(data):
+    return build_prtree(BlockStore(), data, fanout=16)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def read_mix(count=30, seed=5):
+    rects = random_rects(count, seed=seed, max_side=0.2)
+    requests = []
+    for i, (rect, _) in enumerate(rects):
+        if i % 4 == 0:
+            requests.append(CountRequest(rect))
+        elif i % 4 == 1:
+            requests.append(PointRequest(rect.lo))
+        elif i % 4 == 2:
+            requests.append(KNNRequest(rect.lo, k=3))
+        else:
+            requests.append(WindowRequest(rect))
+    return requests
+
+
+class TestReads:
+    def test_values_match_sync_server(self, tree):
+        requests = read_mix()
+
+        async def main():
+            async with AsyncQueryService(tree, max_batch=8) as service:
+                return await service.submit_many(requests)
+
+        responses = run(main())
+        expected = QueryServer(tree).submit(requests).values()
+        assert [r.value for r in responses] == expected
+
+    def test_response_latency_fields(self, tree):
+        async def main():
+            async with AsyncQueryService(tree) as service:
+                return await service.submit(
+                    WindowRequest(Rect((0.0, 0.0), (0.5, 0.5)))
+                )
+
+        response = run(main())
+        assert response.latency_s >= response.queue_s >= 0.0
+        assert response.engine_s >= 0.0
+        assert response.batch_size >= 1
+
+    def test_coalescing_batches_concurrent_clients(self, tree):
+        async def main():
+            async with AsyncQueryService(
+                tree, max_batch=64, flush_interval=0.02
+            ) as service:
+                responses = await service.submit_many(read_mix(20))
+                assert service.stats.batches < 20  # riders shared batches
+                return responses
+
+        responses = run(main())
+        assert max(r.batch_size for r in responses) > 1
+
+    def test_stats_per_kind_counts(self, tree):
+        requests = read_mix(16)
+
+        async def main():
+            async with AsyncQueryService(tree) as service:
+                await service.submit_many(requests)
+                return service.stats
+
+        stats = run(main())
+        assert stats.completed == len(requests)
+        counts = {s.kind: s.count for s in stats.kind_summaries()}
+        assert counts["count"] == 4
+        assert counts["knn"] == 4
+
+
+class TestWrites:
+    def test_read_your_writes_after_await(self, tree):
+        rect = Rect((0.31, 0.31), (0.32, 0.32))
+
+        async def main():
+            async with AsyncQueryService(tree) as service:
+                inserted = await service.submit(InsertRequest(rect, "fresh"))
+                assert isinstance(inserted.value, int)
+                seen = await service.submit(WindowRequest(rect))
+                assert any(v == "fresh" for _, v in seen.value)
+                removed = await service.submit(DeleteRequest(rect, "fresh"))
+                assert removed.value is True
+                gone = await service.submit(WindowRequest(rect))
+                assert not any(v == "fresh" for _, v in gone.value)
+
+        run(main())
+
+    def test_write_order_is_admission_order(self, tree):
+        # Fire interleaved inserts/deletes of the same entry without
+        # awaiting; FIFO write order means exactly the serial outcome.
+        rect = Rect((0.71, 0.71), (0.72, 0.72))
+        size_before = tree.size
+
+        async def main():
+            async with AsyncQueryService(tree, max_batch=4) as service:
+                ops = []
+                for round_ in range(6):
+                    ops.append(service.submit(InsertRequest(rect, "dup")))
+                    if round_ % 2:
+                        ops.append(
+                            service.submit(DeleteRequest(rect, "dup"))
+                        )
+                return await asyncio.gather(*ops)
+
+        responses = run(main())
+        deletes = [
+            r for r in responses if isinstance(r.request, DeleteRequest)
+        ]
+        assert all(r.value is True for r in deletes)  # always one to remove
+        assert tree.size == size_before + 6 - 3
+
+    def test_writes_visible_to_unawaited_later_reads(self, tree):
+        # A read admitted after a write (same submission burst) may be
+        # batched after it; at minimum the final state must hold.
+        rect = Rect((0.11, 0.83), (0.12, 0.84))
+
+        async def main():
+            async with AsyncQueryService(tree) as service:
+                await asyncio.gather(
+                    service.submit(InsertRequest(rect, "w")),
+                    service.submit(CountRequest(Rect((0, 0), (1, 1)))),
+                )
+                final = await service.submit(WindowRequest(rect))
+                assert any(v == "w" for _, v in final.value)
+
+        run(main())
+
+
+class TestAdmission:
+    def test_reject_mode_fast_fails(self, tree):
+        async def main():
+            async with AsyncQueryService(
+                tree,
+                max_batch=4,
+                flush_interval=0.05,
+                max_pending_reads=3,
+                admission="reject",
+            ) as service:
+                tasks = [
+                    asyncio.ensure_future(service.submit(request))
+                    for request in read_mix(40)
+                ]
+                results = await asyncio.gather(
+                    *tasks, return_exceptions=True
+                )
+                rejected = [
+                    r for r in results if isinstance(r, AdmissionError)
+                ]
+                completed = [
+                    r for r in results if not isinstance(r, Exception)
+                ]
+                assert rejected, "tiny bound must shed load"
+                assert len(rejected) + len(completed) == 40
+                assert service.stats.rejected_reads == len(rejected)
+                assert all(e.lane == "read" for e in rejected)
+                # The service stays serviceable after shedding.
+                ok = await service.submit(
+                    CountRequest(Rect((0.0, 0.0), (1.0, 1.0)))
+                )
+                assert isinstance(ok.value, int)
+
+        run(main())
+
+    def test_write_lane_has_its_own_bound(self, tree):
+        async def main():
+            async with AsyncQueryService(
+                tree,
+                max_pending_writes=1,
+                flush_interval=0.05,
+                admission="reject",
+            ) as service:
+                rect = Rect((0.5, 0.5), (0.51, 0.51))
+                tasks = [
+                    asyncio.ensure_future(
+                        service.submit(InsertRequest(rect, f"v{i}"))
+                    )
+                    for i in range(10)
+                ]
+                results = await asyncio.gather(
+                    *tasks, return_exceptions=True
+                )
+                rejected = [
+                    r for r in results if isinstance(r, AdmissionError)
+                ]
+                assert rejected and all(
+                    e.lane == "write" for e in rejected
+                )
+                assert service.stats.rejected_writes == len(rejected)
+
+        run(main())
+
+    def test_backpressure_mode_completes_everything(self, tree):
+        async def main():
+            async with AsyncQueryService(
+                tree,
+                max_batch=4,
+                flush_interval=0.0,
+                max_pending_reads=3,
+                admission="backpressure",
+            ) as service:
+                responses = await service.submit_many(read_mix(40))
+                assert len(responses) == 40
+                assert service.stats.rejected == 0
+                # The bound held: depth never exceeded the lane limit.
+                assert service.stats.max_queue_depth <= 3
+
+        run(main())
+
+
+class TestCancellation:
+    def test_cancelled_client_does_not_break_batch_mates(self, tree):
+        # A client that times out while queued cancels its future; the
+        # batch must still complete for everyone else — including
+        # write batches, whose completion runs inline in the
+        # dispatcher.
+        async def main():
+            async with AsyncQueryService(
+                tree, max_batch=8, flush_interval=0.05
+            ) as service:
+                doomed = asyncio.ensure_future(
+                    service.submit(WindowRequest(Rect((0.0, 0.0), (1.0, 1.0))))
+                )
+                write = asyncio.ensure_future(
+                    service.submit(
+                        InsertRequest(Rect((0.9, 0.9), (0.91, 0.91)), "c")
+                    )
+                )
+                mates = [
+                    asyncio.ensure_future(
+                        service.submit(
+                            CountRequest(Rect((0.0, 0.0), (1.0, 1.0)))
+                        )
+                    )
+                    for _ in range(4)
+                ]
+                await asyncio.sleep(0)  # everyone enqueued
+                doomed.cancel()
+                write.cancel()
+                responses = await asyncio.wait_for(
+                    asyncio.gather(*mates), timeout=5.0
+                )
+                assert all(isinstance(r.value, int) for r in responses)
+                # The dispatcher survived; later requests still served.
+                later = await service.submit(
+                    CountRequest(Rect((0.0, 0.0), (1.0, 1.0)))
+                )
+                assert isinstance(later.value, int)
+
+        run(main())
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, tree):
+        async def main():
+            service = AsyncQueryService(tree)
+            async with service:
+                await service.submit(
+                    CountRequest(Rect((0.0, 0.0), (1.0, 1.0)))
+                )
+            with pytest.raises(ServiceClosed):
+                await service.submit(
+                    CountRequest(Rect((0.0, 0.0), (1.0, 1.0)))
+                )
+
+        run(main())
+
+    def test_close_drains_admitted_requests(self, tree):
+        async def main():
+            service = AsyncQueryService(tree, flush_interval=0.05)
+            service_started = False
+            async with service:
+                service_started = True
+                tasks = [
+                    asyncio.ensure_future(service.submit(request))
+                    for request in read_mix(12)
+                ]
+                await asyncio.sleep(0)  # let tasks enqueue
+            assert service_started
+            responses = await asyncio.gather(*tasks)
+            assert len(responses) == 12
+            assert all(r.value is not None for r in responses)
+
+        run(main())
+
+    def test_aclose_idempotent(self, tree):
+        async def main():
+            service = AsyncQueryService(tree)
+            service.start()
+            await service.aclose()
+            await service.aclose()
+            assert service.closed
+
+        run(main())
+
+    def test_invalid_parameters(self, tree):
+        with pytest.raises(ValueError):
+            AsyncQueryService(tree, max_batch=0)
+        with pytest.raises(ValueError):
+            AsyncQueryService(tree, flush_interval=-1.0)
+        with pytest.raises(ValueError):
+            AsyncQueryService(tree, max_pending_reads=0)
+        with pytest.raises(ValueError):
+            AsyncQueryService(tree, admission="maybe")
+        with pytest.raises(ValueError):
+            AsyncQueryService(tree, executor_workers=0)

@@ -177,3 +177,65 @@ class TestPackAndServe:
             "run", "point", "--n", "400", "--fanout", "8", "--queries", "5",
         ]) == 0
         assert "stabbing" in capsys.readouterr().out
+
+
+class TestServeAsync:
+    def test_serve_async_sweep_prints_percentiles(self, capsys):
+        assert main([
+            "serve-async", "--rates", "400", "--requests", "40",
+            "--n", "1500", "--max-batch", "16", "--executor-workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p50_ms" in out and "p99_ms" in out
+        assert "rejected" in out
+
+    def test_serve_async_mmap_sharded(self, capsys):
+        assert main([
+            "serve-async", "--rates", "600", "--requests", "30",
+            "--n", "1500", "--shards", "2", "--mmap",
+            "--executor-workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out and "mmap" in out
+
+    def test_serve_async_bad_rates(self, capsys):
+        assert main([
+            "serve-async", "--rates", "fast", "--n", "1500",
+        ]) == 2
+        assert "invalid --rates" in capsys.readouterr().err
+
+    def test_serve_async_empty_rates(self, capsys):
+        assert main(["serve-async", "--rates", ",", "--n", "1500"]) == 2
+        assert "no rates" in capsys.readouterr().err
+
+    def test_serve_bench_mmap_flag(self, capsys):
+        assert main([
+            "serve-bench", "--requests", "40", "--batch-size", "20",
+            "--n", "1500", "--mmap",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mmap" in out and "p95_ms" in out
+
+    def test_serve_async_nonpositive_rates(self, capsys):
+        assert main([
+            "serve-async", "--rates", "0,500", "--n", "1500",
+        ]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_serve_async_user_index_untouched_by_default(
+        self, tmp_path, capsys
+    ):
+        # Without an explicit --write-frac, serving a user-supplied
+        # index must leave its bytes exactly as packed.
+        index = tmp_path / "user.manifest"
+        assert main([
+            "pack", str(index), "--shards", "2", "--n", "1500",
+        ]) == 0
+        files = sorted(tmp_path.iterdir())
+        before = {f.name: f.read_bytes() for f in files}
+        assert main([
+            "serve-async", "--index", str(index), "--rates", "800",
+            "--requests", "30", "--executor-workers", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert {f.name: f.read_bytes() for f in sorted(tmp_path.iterdir())} == before

@@ -306,3 +306,73 @@ class TestReopen:
         store = FileBlockStore.create(path, block_size=64)
         store.close()
         store.close()
+
+
+class TestMmap:
+    """The opt-in mmap-backed access path: same bytes, same accounting."""
+
+    def _packed(self, path, blocks=6):
+        with FileBlockStore.create(path, block_size=64, meta=b"M") as store:
+            return [store.allocate(bytes([65 + i]) * 8) for i in range(blocks)]
+
+    def test_reads_identical_to_plain_open(self, path):
+        ids = self._packed(path)
+        with FileBlockStore.open(path) as plain, FileBlockStore.open(
+            path, mmap=True
+        ) as mapped:
+            assert mapped.mmapped and not plain.mmapped
+            for bid in ids:
+                assert mapped.read(bid) == plain.read(bid)
+            assert mapped.counters.reads == plain.counters.reads
+            assert mapped.metadata == plain.metadata
+
+    def test_peek_is_uncounted(self, path):
+        ids = self._packed(path)
+        with FileBlockStore.open(path, mmap=True) as store:
+            before = store.counters.reads
+            assert store.peek(ids[0])[:8] == b"A" * 8
+            assert store.counters.reads == before
+
+    def test_readonly_mmap_blocks_mutation(self, path):
+        ids = self._packed(path)
+        with FileBlockStore.open(path, readonly=True, mmap=True) as store:
+            assert store.read(ids[0])[:1] == b"A"
+            with pytest.raises(StorageError, match="read-only"):
+                store.write(ids[0], b"nope")
+
+    def test_writes_through_mapping_persist(self, path):
+        ids = self._packed(path)
+        with FileBlockStore.open(path, mmap=True) as store:
+            store.write(ids[1], b"updated")
+            fresh = store.allocate(b"appended")  # grows file + mapping
+            store.free(ids[0])
+        with FileBlockStore.open(path) as store:  # plain reopen
+            assert store.read(ids[1])[:7] == b"updated"
+            assert store.read(fresh)[:8] == b"appended"
+            assert ids[0] not in store
+
+    def test_growth_beyond_initial_mapping(self, path):
+        self._packed(path, blocks=1)
+        with FileBlockStore.open(path, mmap=True) as store:
+            new_ids = [store.allocate(b"grow") for _ in range(50)]
+        with FileBlockStore.open(path, mmap=True) as store:
+            for bid in new_ids:
+                assert store.read(bid)[:4] == b"grow"
+
+    def test_reserve_write_back_under_mmap(self, path):
+        self._packed(path, blocks=2)
+        with FileBlockStore.open(path, mmap=True) as store:
+            bid = store.reserve()
+            writes_before = store.counters.writes
+            store.write_back(bid, b"deferred")
+            assert store.counters.writes == writes_before  # uncounted
+        with FileBlockStore.open(path) as store:
+            assert store.read(bid)[:8] == b"deferred"
+
+    def test_freelist_pop_reads_mapping(self, path):
+        ids = self._packed(path, blocks=3)
+        with FileBlockStore.open(path, mmap=True) as store:
+            store.free(ids[2])
+            store.free(ids[0])
+            assert store.allocate(b"reuse") == ids[0]  # LIFO freelist
+            assert store.allocate(b"reuse") == ids[2]

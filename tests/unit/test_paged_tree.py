@@ -582,3 +582,40 @@ class TestPagedTreeUpdates:
             # Write-through would have cost one physical write per
             # logical write I/O; write-back coalesces repeated touches.
             assert physical < logical
+
+
+class TestMmapPagedTree:
+    """PagedTree.open(mmap=True): identical answers and logical I/O."""
+
+    def test_queries_and_accounting_match(self, packed):
+        tree, path, _, data = packed
+        values = dict(tree.objects)
+        windows = random_windows(10, seed=27)
+        with PagedTree.open(path, values=values, readonly=True) as plain, \
+                PagedTree.open(
+                    path, values=values, readonly=True, mmap=True
+                ) as mapped:
+            assert mapped.page_store.file_store.mmapped
+            plain_engine, mapped_engine = QueryEngine(plain), QueryEngine(mapped)
+            for window in windows:
+                got_plain, stats_plain = plain_engine.query(window)
+                got_mapped, stats_mapped = mapped_engine.query(window)
+                assert_same_matches(got_mapped, got_plain)
+                assert stats_mapped.leaf_reads == stats_plain.leaf_reads
+            assert (
+                mapped.store.counters.reads == plain.store.counters.reads
+            )
+
+    def test_updates_and_cold_reopen(self, packed):
+        tree, path, _, data = packed
+        with PagedTree.open(path, values=dict(tree.objects), mmap=True) as t:
+            for i in range(40):
+                t.insert(
+                    Rect((0.4 + i * 0.001, 0.4), (0.41 + i * 0.001, 0.41)),
+                    f"m{i}",
+                )
+            for rect, value in data[:10]:
+                assert t.delete(rect, value)
+            values = dict(t.objects)
+        with PagedTree.open(path, values=values, readonly=True) as cold:
+            validate_rtree(cold, expect_size=len(data) + 40 - 10)

@@ -428,3 +428,25 @@ class TestOpenIndex:
     def test_open_index_missing_file(self, tmp_path):
         with pytest.raises(StorageError, match="no index file"):
             open_index(tmp_path / "ghost.pack")
+
+
+class TestMmapFamilies:
+    def test_open_index_mmap_plumbs_to_every_shard(self, tree, manifest):
+        with open_index(
+            manifest, values=dict(tree.objects), readonly=True, mmap=True
+        ) as family:
+            assert isinstance(family, ShardedTree)
+            assert all(
+                shard.page_store.file_store.mmapped
+                for shard in family.shards
+            )
+            plain = ShardedTree.open(
+                manifest, values=dict(tree.objects), readonly=True
+            )
+            try:
+                window = tree.root().mbr()
+                got = sorted(family.query(window), key=lambda rv: rv[1])
+                want = sorted(plain.query(window), key=lambda rv: rv[1])
+                assert got == want
+            finally:
+                plain.close()
