@@ -3,6 +3,10 @@
 Every benchmark regenerates one of the paper's tables or figures, prints
 it (visible with ``pytest -s``) and saves the rendered text under
 ``benchmarks/results/`` so EXPERIMENTS.md can cite the exact output.
+Each ``<name>.txt`` table gets a sibling ``<name>.json`` with the same
+numbers in the stable ``repro-table/1`` schema
+(:meth:`repro.experiments.report.Table.to_json`), so the performance
+trajectory is machine-diffable across PRs.
 
 Benchmarks run each experiment exactly once (``benchmark.pedantic`` with
 one round): the interesting measurement is the simulated I/O inside the
@@ -20,7 +24,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture
 def record_table():
-    """Print a result table and persist it under benchmarks/results/."""
+    """Print a result table; persist .txt + .json under results/."""
 
     def _record(table, name: str):
         RESULTS_DIR.mkdir(exist_ok=True)
@@ -28,6 +32,7 @@ def record_table():
         print()
         print(text)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        (RESULTS_DIR / f"{name}.json").write_text(table.to_json() + "\n")
         return table
 
     return _record

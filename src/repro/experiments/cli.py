@@ -11,6 +11,8 @@ Usage (installed or from a checkout)::
     python -m repro serve-bench --index index.pack --requests 1000
     python -m repro serve-bench --shards 4 --workers 4 --requests 1000
     python -m repro serve-async --shards 4 --rates 200,1000,4000 --mmap
+    python -m repro serve-async --trace out.jsonl --metrics out.prom
+    python -m repro trace out.jsonl --requests 200 --rate 500
     python -m repro update-bench --updates 1000 --n 20000
 
 ``run all`` executes every experiment with its defaults and writes each
@@ -21,9 +23,12 @@ manifest; ``serve-bench`` reopens either shape as a lazily paged tree
 and drives a mixed batched workload through the query server;
 ``serve-async`` sweeps open-loop arrival rates through the asyncio
 serving layer and reports p50/p95/p99 end-to-end latency per rate;
-``update-bench`` measures dynamic inserts/deletes on a packed index
-(dirty-page write-back) and the post-update query degradation versus a
-fresh bulk-load.
+``trace`` captures one live workload as a Chrome trace-event file for
+Perfetto; ``update-bench`` measures dynamic inserts/deletes on a packed
+index (dirty-page write-back) and the post-update query degradation
+versus a fresh bulk-load.  The serving subcommands share ``--trace``,
+``--metrics``, ``--sample-rate`` and ``--slow-ms``
+(docs/observability.md).
 """
 
 from __future__ import annotations
@@ -53,6 +58,7 @@ from repro.experiments.serving import (
     pack_index,
     serve_async_bench,
     serve_bench,
+    trace_capture,
     update_bench,
 )
 from repro.experiments.tables import table1, theorem3_demo
@@ -75,10 +81,13 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Table], tuple[str, ...], str]] = {
 }
 
 
-def _add_serving_index_args(parser: argparse.ArgumentParser) -> None:
-    """Arguments shared by ``serve-bench`` and ``serve-async``: which
-    index to serve (or how to pack the temporary one), the page-cache
-    budget, mmap, and the workload seed."""
+def _add_serving_index_args(
+    parser: argparse.ArgumentParser, obs: bool = True
+) -> None:
+    """Arguments shared by the serving subcommands: which index to
+    serve (or how to pack the temporary one), the page-cache budget,
+    mmap, the workload seed, and (unless ``obs=False``) the trace /
+    metrics flags."""
     parser.add_argument(
         "--index",
         type=pathlib.Path,
@@ -120,6 +129,38 @@ def _add_serving_index_args(parser: argparse.ArgumentParser) -> None:
         help="serve the index file(s) from memory mappings",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    if obs:
+        parser.add_argument(
+            "--trace",
+            type=pathlib.Path,
+            metavar="OUT.jsonl",
+            help=(
+                "write sampled request spans as a Chrome trace-event "
+                "file (load at ui.perfetto.dev)"
+            ),
+        )
+    parser.add_argument(
+        "--metrics",
+        type=pathlib.Path,
+        metavar="OUT.prom",
+        help="dump final metrics in Prometheus text format",
+    )
+    parser.add_argument(
+        "--sample-rate",
+        dest="sample_rate",
+        type=float,
+        default=1.0,
+        help="head-sampling fraction of requests to trace (default 1.0)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        dest="slow_ms",
+        type=float,
+        help=(
+            "slow-query threshold in ms: over-threshold requests are "
+            "logged and always traced, even below --sample-rate"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -282,6 +323,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_index_args(serve_async)
 
+    trace = sub.add_parser(
+        "trace",
+        help=(
+            "capture a Chrome trace-event file (Perfetto-loadable) from "
+            "a live async workload"
+        ),
+    )
+    trace.add_argument(
+        "out", type=pathlib.Path, help="trace-event file to write (.jsonl)"
+    )
+    trace.add_argument(
+        "--requests", type=int, default=200, help="requests to trace"
+    )
+    trace.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="open-loop arrival rate (requests/second)",
+    )
+    trace.add_argument(
+        "--write-frac",
+        dest="write_frac",
+        type=float,
+        default=None,
+        help=(
+            "fraction of the stream that is inserts/deletes (default "
+            "0.1 for a temporary index, 0 when --index is given)"
+        ),
+    )
+    _add_serving_index_args(trace, obs=False)
+
     update = sub.add_parser(
         "update-bench",
         help=(
@@ -395,6 +467,10 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             shards=args.shards,
             mmap=args.mmap,
+            trace=args.trace,
+            metrics=args.metrics,
+            sample_rate=args.sample_rate,
+            slow_ms=args.slow_ms,
         )
         print(table.render())
         return 0
@@ -440,8 +516,38 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             shards=args.shards,
             mmap=args.mmap,
+            trace=args.trace,
+            metrics=args.metrics,
+            sample_rate=args.sample_rate,
+            slow_ms=args.slow_ms,
         )
         print(table.render())
+        return 0
+
+    if args.command == "trace":
+        write_frac = args.write_frac
+        if write_frac is None:
+            write_frac = 0.1 if args.index is None else 0.0
+        table = trace_capture(
+            args.out,
+            index=args.index,
+            requests=args.requests,
+            rate=args.rate,
+            write_frac=write_frac,
+            sample_rate=args.sample_rate,
+            slow_ms=args.slow_ms,
+            metrics=args.metrics,
+            cache_pages=args.cache_pages,
+            variant=args.variant,
+            dataset=args.dataset,
+            n=args.n,
+            block_size=args.block_size,
+            seed=args.seed,
+            shards=args.shards,
+            mmap=args.mmap,
+        )
+        print(table.render())
+        print(f"wrote {args.out}")
         return 0
 
     if args.command == "update-bench":

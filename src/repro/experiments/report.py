@@ -6,6 +6,7 @@ with ``pytest -s``) and the EXPERIMENTS.md generator embeds it.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -66,6 +67,30 @@ class Table:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable rendering with a stable schema.
+
+        The schema is versioned (``repro-table/1``) and carries the
+        exact cell values — no display rounding — so benchmark results
+        written next to the ``.txt`` tables are diffable across PRs::
+
+            {"schema": "repro-table/1", "title": ..., "headers": [...],
+             "rows": [[...], ...], "notes": [...]}
+
+        Cells that are not JSON-serializable fall back to ``str``.
+        """
+        return json.dumps(
+            {
+                "schema": "repro-table/1",
+                "title": self.title,
+                "headers": list(self.headers),
+                "rows": [list(row) for row in self.rows],
+                "notes": list(self.notes),
+            },
+            indent=2,
+            default=str,
+        )
 
     def to_markdown(self) -> str:
         """GitHub-flavored markdown rendering (for EXPERIMENTS.md)."""

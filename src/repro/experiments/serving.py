@@ -44,6 +44,7 @@ from repro.experiments.harness import build_variant
 from repro.experiments.report import Table
 from repro.geometry.rect import Rect
 from repro.iomodel.codec import fanout_for_block
+from repro.obs import MetricsRegistry, SlowQueryLog, TraceWriter, Tracer
 from repro.rtree.query import QueryEngine
 from repro.rtree.validate import validate_rtree
 from repro.server import (
@@ -66,12 +67,30 @@ __all__ = [
     "pack_index",
     "serve_bench",
     "serve_async_bench",
+    "trace_capture",
     "update_bench",
     "mixed_requests",
     "mixed_service_stream",
     "mixed_update_requests",
     "DATASETS",
 ]
+
+
+def _make_tracer(
+    trace: str | pathlib.Path | None,
+    sample_rate: float,
+    slow_ms: float | None,
+) -> tuple[TraceWriter | None, Tracer | None]:
+    """Build the (writer, tracer) pair for a ``--trace OUT.jsonl`` run."""
+    if trace is None:
+        return None, None
+    writer = TraceWriter(trace)
+    tracer = Tracer(
+        writer,
+        sample_rate=sample_rate,
+        slow_threshold_s=slow_ms / 1000.0 if slow_ms is not None else None,
+    )
+    return writer, tracer
 
 #: Dataset generators accepted by ``repro pack`` / ``repro serve-bench``.
 DATASETS = {
@@ -219,6 +238,10 @@ def serve_bench(
     seed: int = 0,
     shards: int = 1,
     mmap: bool = False,
+    trace: str | pathlib.Path | None = None,
+    metrics: str | pathlib.Path | None = None,
+    sample_rate: float = 1.0,
+    slow_ms: float | None = None,
 ) -> Table:
     """Drive a mixed batched workload through a paged index file.
 
@@ -234,8 +257,15 @@ def serve_bench(
     the same :class:`~repro.service.stats.ServiceStats` histograms the
     async path reports, so the sync and async tables share one metrics
     vocabulary (``docs/async-serving.md``).
+
+    ``trace=OUT.jsonl`` writes a Chrome-trace-event file of every
+    sampled request's spans (``docs/observability.md``); ``sample_rate``
+    head-samples it and ``slow_ms`` always keeps over-threshold
+    requests.  ``metrics=OUT.prom`` dumps the run's per-kind latency
+    histograms and I/O totals in Prometheus text format at the end.
     """
     tmpdir: tempfile.TemporaryDirectory | None = None
+    writer, tracer = _make_tracer(trace, sample_rate, slow_ms)
     if index is None:
         tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
         index = pathlib.Path(tmpdir.name) / (
@@ -280,7 +310,15 @@ def serve_bench(
             totals = {"leaf": 0, "phys": 0, "lat": 0.0, "reqs": 0}
             for b in range(0, len(stream), batch_size):
                 batch = stream[b : b + batch_size]
-                report = server.submit(batch)
+                batch_traces = None
+                if tracer is not None:
+                    batch_traces = [
+                        tracer.begin(req.kind, req.kind) for req in batch
+                    ]
+                report = server.submit(batch, traces=batch_traces)
+                if batch_traces is not None:
+                    for pending_trace in batch_traces:
+                        tracer.finish(pending_trace)
                 kind_latencies = report.kind_latencies()
                 batch_hist = LatencyHistogram()
                 for latencies in kind_latencies.values():
@@ -334,8 +372,36 @@ def serve_bench(
                         for i, load in enumerate(loads)
                     )
                 )
+            if tracer is not None:
+                table.add_note(
+                    f"trace: {trace} ({tracer.emitted} of {tracer.started} "
+                    f"requests emitted, {tracer.slow} slow)"
+                )
+            if metrics is not None:
+                registry = MetricsRegistry()
+                latency = registry.histogram(
+                    "repro_request_latency_seconds",
+                    "Executed-request latency by kind.",
+                    ("kind",),
+                )
+                for kind, histogram in sorted(run_stats.by_kind.items()):
+                    latency.labels(kind).set_from(histogram)
+                registry.counter(
+                    "repro_requests_total", "Requests served."
+                ).labels().set_total(totals["reqs"])
+                registry.counter(
+                    "repro_leaf_ios_total", "Logical leaf reads."
+                ).labels().set_total(totals["leaf"])
+                registry.counter(
+                    "repro_physical_reads_total",
+                    "Page-cache misses (physical block reads).",
+                ).labels().set_total(totals["phys"])
+                registry.dump(metrics)
+                table.add_note(f"metrics: {metrics} (Prometheus text)")
             return table
     finally:
+        if writer is not None:
+            writer.close()
         if tmpdir is not None:
             tmpdir.cleanup()
 
@@ -418,6 +484,10 @@ def serve_async_bench(
     seed: int = 0,
     shards: int = 1,
     mmap: bool = False,
+    trace: str | pathlib.Path | None = None,
+    metrics: str | pathlib.Path | None = None,
+    sample_rate: float = 1.0,
+    slow_ms: float | None = None,
 ) -> Table:
     """Open-loop latency-vs-arrival-rate sweep through the async service.
 
@@ -430,8 +500,23 @@ def serve_async_bench(
     plus batch execution).  The page cache persists across rates (a
     warm service is the steady state being measured); queue depth and
     the tail percentiles are where saturation shows first.
+
+    ``trace=OUT.jsonl`` turns on end-to-end tracing — every sampled
+    request's admission/queue/coalesce/execute spans plus per-shard and
+    engine spans land in one Chrome-trace-event file covering all rates
+    (``docs/observability.md``).  ``metrics=OUT.prom`` registers a
+    shared :class:`~repro.obs.MetricsRegistry` with every service and
+    dumps the final Prometheus text at the end; ``slow_ms`` arms the
+    slow-query log (worst offenders become table notes) and forces
+    over-threshold requests into the trace even when ``sample_rate``
+    would drop them.
     """
     tmpdir: tempfile.TemporaryDirectory | None = None
+    writer, tracer = _make_tracer(trace, sample_rate, slow_ms)
+    registry = MetricsRegistry() if metrics is not None else None
+    slow_log = (
+        SlowQueryLog(slow_ms / 1000.0) if slow_ms is not None else None
+    )
     if index is None:
         tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-async-")
         index = pathlib.Path(tmpdir.name) / (
@@ -481,6 +566,9 @@ def serve_async_bench(
                     max_pending_writes=max_pending_writes,
                     admission=admission,
                     executor_workers=executor_workers,
+                    tracer=tracer,
+                    metrics=registry,
+                    slow_log=slow_log,
                 )
                 stream = mixed_service_stream(
                     bounds,
@@ -529,10 +617,83 @@ def serve_async_bench(
                     "writes mutate the served index; each rate inserts "
                     "namespaced fresh rectangles and deletes only its own"
                 )
+            if tracer is not None:
+                table.add_note(
+                    f"trace: {trace} ({tracer.emitted} of {tracer.started} "
+                    f"requests emitted, {tracer.slow} slow)"
+                )
+            if slow_log is not None and len(slow_log):
+                worst = max(slow_log.records(), key=lambda r: r.latency_s)
+                table.add_note(
+                    f"slow-query log: {slow_log.total} over "
+                    f"{slow_ms:g}ms; worst: {worst.kind} at "
+                    f"{worst.latency_s * 1000:.2f}ms "
+                    f"(queue {worst.queue_s * 1000:.2f}ms)"
+                )
+            if registry is not None:
+                registry.dump(metrics)
+                table.add_note(f"metrics: {metrics} (Prometheus text)")
             return table
     finally:
+        if writer is not None:
+            writer.close()
         if tmpdir is not None:
             tmpdir.cleanup()
+
+
+def trace_capture(
+    out: str | pathlib.Path,
+    index: str | pathlib.Path | None = None,
+    requests: int = 200,
+    rate: float = 500.0,
+    write_frac: float = 0.1,
+    sample_rate: float = 1.0,
+    slow_ms: float | None = None,
+    metrics: str | pathlib.Path | None = None,
+    max_batch: int = 64,
+    flush_ms: float = 2.0,
+    executor_workers: int = 4,
+    cache_pages: int = 256,
+    variant: str = "PR",
+    dataset: str = "tiger-east",
+    n: int = 20_000,
+    fanout: int | None = None,
+    block_size: int = 4096,
+    seed: int = 0,
+    shards: int = 1,
+    mmap: bool = False,
+) -> Table:
+    """Capture a Chrome-trace-event file from one live async workload.
+
+    The ``repro trace`` subcommand: runs a single open-loop rate through
+    the asyncio service with tracing on (100% head sampling by default)
+    and writes the span stream to ``out`` — load it at
+    https://ui.perfetto.dev or ``chrome://tracing``.  Everything else is
+    :func:`serve_async_bench` with one rate; ``docs/observability.md``
+    walks through reading the result.
+    """
+    return serve_async_bench(
+        index=index,
+        rates=(rate,),
+        requests=requests,
+        write_frac=write_frac,
+        max_batch=max_batch,
+        flush_ms=flush_ms,
+        executor_workers=executor_workers,
+        cache_pages=cache_pages,
+        variant=variant,
+        dataset=dataset,
+        n=n,
+        fanout=fanout,
+        block_size=block_size,
+        seed=seed,
+        shards=shards,
+        mmap=mmap,
+        trace=out,
+        metrics=metrics,
+        sample_rate=sample_rate,
+        slow_ms=slow_ms,
+    )
 
 
 def mixed_update_requests(

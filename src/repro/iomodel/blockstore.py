@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.iomodel.counters import IOCounters
+from repro.obs.tap import active_tap
 
 #: Block addresses are plain integers.
 BlockId = int
@@ -79,6 +80,9 @@ class BlockStore:
         self._next_id += 1
         self._blocks[block_id] = payload
         self.counters.record_write(block_id)
+        tap = active_tap()
+        if tap is not None:
+            tap.writes += 1
         return block_id
 
     def free(self, block_id: BlockId) -> None:
@@ -110,6 +114,9 @@ class BlockStore:
         """Read a block's payload, counting one I/O."""
         self._check_live(block_id)
         self.counters.record_read(block_id)
+        tap = active_tap()
+        if tap is not None:
+            tap.reads += 1
         return self._blocks[block_id]
 
     def write(self, block_id: BlockId, payload: Any) -> None:
@@ -117,6 +124,9 @@ class BlockStore:
         self._check_live(block_id)
         self._blocks[block_id] = payload
         self.counters.record_write(block_id)
+        tap = active_tap()
+        if tap is not None:
+            tap.writes += 1
 
     def peek(self, block_id: BlockId) -> Any:
         """Read a block *without* counting I/O.

@@ -79,6 +79,17 @@ class IOSnapshot:
             seq_writes=self.seq_writes + other.seq_writes,
         )
 
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form (trace args, metric labels, JSON reports)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "seq_reads": self.seq_reads,
+            "seq_writes": self.seq_writes,
+            "rand_reads": self.rand_reads,
+            "rand_writes": self.rand_writes,
+        }
+
 
 class IOCounters:
     """Mutable read/write counters shared by one simulated disk.

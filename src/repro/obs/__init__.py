@@ -1,0 +1,54 @@
+"""Observability: request tracing, metrics, I/O attribution, slow log.
+
+The diagnostic substrate of the serving stack (``docs/observability.md``):
+
+* :mod:`repro.obs.tap` — context-local :class:`IOTap` attribution,
+  incremented by the stores adjacent to the shared counters, so
+  per-request/per-batch I/O totals are exact slices of
+  :class:`~repro.iomodel.counters.IOCounters` (attributed, never
+  re-counted).
+* :mod:`repro.obs.trace` — :class:`Trace`/:class:`Span` with head
+  sampling and an always-trace-if-slow rule, exported in Chrome
+  trace-event format for Perfetto.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of labeled
+  counters/gauges/histograms with Prometheus-text exposition.
+* :mod:`repro.obs.slowlog` — bounded :class:`SlowQueryLog` ring.
+
+Everything is opt-in: with no tracer/tap/registry installed, the hooks
+cost one ``ContextVar.get`` (or one ``None`` check) per event.
+"""
+
+from repro.obs.metrics import Counter, Gauge, HistogramMetric, MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
+from repro.obs.tap import IOTap, active_tap, install_tap, scoped_tap
+from repro.obs.trace import (
+    Span,
+    Trace,
+    Tracer,
+    TraceWriter,
+    activate_trace,
+    check_span_nesting,
+    current_trace,
+    load_trace_events,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "IOTap",
+    "active_tap",
+    "install_tap",
+    "scoped_tap",
+    "Span",
+    "Trace",
+    "Tracer",
+    "TraceWriter",
+    "activate_trace",
+    "check_span_nesting",
+    "current_trace",
+    "load_trace_events",
+]

@@ -1,0 +1,139 @@
+"""Slow-query log: a bounded ring of the worst recent requests.
+
+Traces answer "why was *this* request slow" when you already hold the
+trace; the slow-query log answers "which requests were slow at all"
+without keeping every trace.  Any completed request whose end-to-end
+latency reaches ``threshold_s`` is recorded — kind, per-phase split
+(queue vs engine), batch context, attributed I/O, and the trace id when
+the request was traced (so the Perfetto row is one search away).
+
+The log is a fixed-capacity ring (:class:`collections.deque`): memory
+is bounded forever, the most recent ``capacity`` slow queries win, and
+``total`` still counts every threshold crossing.  Recording is locked
+(service completions may race); the fast path for a request under the
+threshold is one float compare.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["SlowQueryRecord", "SlowQueryLog"]
+
+
+@dataclass(frozen=True)
+class SlowQueryRecord:
+    """One slow request, as the service saw it complete."""
+
+    kind: str
+    latency_s: float
+    #: Time spent queued before the batch drained (async path; 0 sync).
+    queue_s: float
+    #: Time inside the engine proper.
+    engine_s: float
+    batch_size: int
+    #: ``repr`` of the request (bounded — see ``SlowQueryLog.note``).
+    detail: str
+    #: Attributed I/O snapshot, when a tap/trace covered the request.
+    io: dict[str, int] | None = None
+    #: Trace id when the request was traced (None otherwise).
+    trace_id: int | None = None
+    #: Wall-clock seconds (``time.time``) at recording.
+    at: float = field(default_factory=time.time)
+
+
+class SlowQueryLog:
+    """Bounded ring of :class:`SlowQueryRecord`, newest last."""
+
+    def __init__(self, threshold_s: float, capacity: int = 256) -> None:
+        if threshold_s < 0:
+            raise ValueError("threshold_s must be >= 0")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold_s = threshold_s
+        self.capacity = capacity
+        self.total = 0
+        self._ring: deque[SlowQueryRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def note(
+        self,
+        kind: str,
+        latency_s: float,
+        *,
+        queue_s: float = 0.0,
+        engine_s: float = 0.0,
+        batch_size: int = 1,
+        detail: str = "",
+        io: dict[str, int] | None = None,
+        trace_id: int | None = None,
+    ) -> bool:
+        """Record the request if it crossed the threshold.
+
+        Returns True when recorded.  ``detail`` is truncated to 200
+        characters so a pathological request repr cannot bloat the ring.
+        """
+        if latency_s < self.threshold_s:
+            return False
+        record = SlowQueryRecord(
+            kind=kind,
+            latency_s=latency_s,
+            queue_s=queue_s,
+            engine_s=engine_s,
+            batch_size=batch_size,
+            detail=detail[:200],
+            io=io,
+            trace_id=trace_id,
+        )
+        with self._lock:
+            self.total += 1
+            self._ring.append(record)
+        return True
+
+    def records(self) -> list[SlowQueryRecord]:
+        """The retained records, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable tail of the log (worst-first within the tail)."""
+        records = self.records()[-limit:]
+        if not records:
+            return (
+                f"slow-query log: empty "
+                f"(threshold {self.threshold_s * 1000:.1f} ms)\n"
+            )
+        records.sort(key=lambda r: r.latency_s, reverse=True)
+        lines = [
+            f"slow-query log: {self.total} over "
+            f"{self.threshold_s * 1000:.1f} ms "
+            f"(showing {len(records)} of {len(self._ring)} retained)"
+        ]
+        for r in records:
+            trace = f" trace=#{r.trace_id}" if r.trace_id is not None else ""
+            io = ""
+            if r.io:
+                io = (
+                    f" io[r={r.io.get('reads', 0)} w={r.io.get('writes', 0)}"
+                    f" miss={r.io.get('misses', 0)}]"
+                )
+            lines.append(
+                f"  {r.latency_s * 1000:8.2f} ms  {r.kind:<12} "
+                f"queue={r.queue_s * 1000:.2f}ms "
+                f"engine={r.engine_s * 1000:.2f}ms "
+                f"batch={r.batch_size}{io}{trace}  {r.detail}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowQueryLog(threshold={self.threshold_s * 1000:.1f}ms, "
+            f"total={self.total}, retained={len(self)})"
+        )

@@ -49,6 +49,7 @@ columns relate to the store- and page-layer counters they aggregate.
 
 from __future__ import annotations
 
+import contextvars
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -56,6 +57,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.geometry.hilbert import hilbert_key_for_center
+from repro.obs.tap import scoped_tap
+from repro.obs.trace import Trace, activate_trace
 from repro.geometry.rect import Rect, point_rect
 from repro.queries.join import SpatialJoinEngine
 from repro.queries.knn import KNNEngine
@@ -108,6 +111,10 @@ class BatchReport:
     leaf_ios: int = 0
     internal_reads: int = 0
     reported: int = 0
+    #: Physical block reads (page-cache misses) *this batch caused*.
+    #: Attributed at the store hooks through the batch's
+    #: :class:`~repro.obs.tap.IOTap`, so concurrent batches on shared
+    #: paged handles never bleed into each other's numbers.
     physical_reads: int = 0
     #: Write requests (insert/delete) applied by this batch.
     writes: int = 0
@@ -116,12 +123,20 @@ class BatchReport:
     #: Dirty pages physically encoded and written back during the batch
     #: (evictions plus the post-write sync) — with write-back this is at
     #: most the number of distinct dirty pages, not one per write I/O.
+    #: Attributed per batch like :attr:`physical_reads`.
     pages_flushed: int = 0
     #: Per-shard breakdown for every sharded index this batch touched:
     #: index name → one :class:`~repro.storage.shard.ShardLoad` delta per
     #: shard (logical reads/writes, physical reads, pages flushed, and
     #: the wall-clock seconds the sharded engines spent on that shard).
+    #: These remain shared-counter deltas (a load-balance view): under
+    #: *overlapping* batches on one shared handle they can include other
+    #: batches' traffic — the attributed batch totals above never do.
     shard_loads: dict[str, list[ShardLoad]] = field(default_factory=dict)
+    #: The batch's full attributed I/O snapshot
+    #: (:meth:`~repro.obs.tap.IOTap.snapshot`): logical reads/writes plus
+    #: page-cache hits/misses/evictions/flushes this batch caused.
+    io: dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -353,44 +368,84 @@ class QueryServer:
     # Execution
     # ------------------------------------------------------------------
 
-    def _execute_write(self, request: Request) -> RequestResult:
-        """Apply one insert/delete, reporting its logical I/O cost."""
+    def _execute_write(
+        self, request: Request, trace: Trace | None = None
+    ) -> RequestResult:
+        """Apply one insert/delete, reporting its logical I/O cost.
+
+        The I/O numbers come from a scoped attribution tap, not a
+        shared-counter delta, so concurrent traffic on the same handle
+        (an overlapping batch's reads) never bleeds into this write's
+        :class:`~repro.server.requests.UpdateStats`.
+        """
         tree = self._tree(request.index)
-        start = time.perf_counter()
-        before = tree.store.counters.snapshot()
-        if isinstance(request, InsertRequest):
-            value: Any = tree.insert(request.rect, request.value)
-        else:
-            value = tree.delete(request.rect, request.value)
-        delta = tree.store.counters.snapshot() - before
-        latency = time.perf_counter() - start
+        with activate_trace(trace), scoped_tap(trace) as tap:
+            start = time.perf_counter()
+            if isinstance(request, InsertRequest):
+                value: Any = tree.insert(request.rect, request.value)
+            else:
+                value = tree.delete(request.rect, request.value)
+            end = time.perf_counter()
+        if trace is not None:
+            trace.add_span(
+                f"write:{request.kind}",
+                start,
+                end,
+                cat="engine",
+                index=request.index,
+                io=tap.snapshot(),
+            )
         return RequestResult(
             request=request,
             value=value,
-            stats=UpdateStats(reads=delta.reads, writes=delta.writes),
-            latency_s=latency,
+            stats=UpdateStats(reads=tap.reads, writes=tap.writes),
+            latency_s=end - start,
         )
 
-    def _execute_one(self, request: Request) -> RequestResult:
-        engine = self._engine(_group_key(request))
-        start = time.perf_counter()
+    @staticmethod
+    def _dispatch(engine: Any, request: Request) -> tuple[Any, Any]:
         if isinstance(request, WindowRequest):
-            value, stats = engine.query(request.window)
-        elif isinstance(request, ContainmentRequest):
-            value, stats = engine.containment_query(request.window)
-        elif isinstance(request, CountRequest):
-            value, stats = engine.count(request.window)
-        elif isinstance(request, PointRequest):
-            value, stats = engine.point_query(request.point)
-        elif isinstance(request, KNNRequest):
-            value, stats = engine.knn(request.target, request.k)
-        elif isinstance(request, JoinRequest):
-            value, stats = engine.join()
-        else:
-            raise TypeError(f"unsupported request {request!r}")
-        latency = time.perf_counter() - start
+            return engine.query(request.window)
+        if isinstance(request, ContainmentRequest):
+            return engine.containment_query(request.window)
+        if isinstance(request, CountRequest):
+            return engine.count(request.window)
+        if isinstance(request, PointRequest):
+            return engine.point_query(request.point)
+        if isinstance(request, KNNRequest):
+            return engine.knn(request.target, request.k)
+        if isinstance(request, JoinRequest):
+            return engine.join()
+        raise TypeError(f"unsupported request {request!r}")
+
+    def _execute_one(
+        self, request: Request, trace: Trace | None = None
+    ) -> RequestResult:
+        engine = self._engine(_group_key(request))
+        if trace is None:
+            start = time.perf_counter()
+            value, stats = self._dispatch(engine, request)
+            latency = time.perf_counter() - start
+            return RequestResult(
+                request=request, value=value, stats=stats, latency_s=latency
+            )
+        # Traced: activate the trace in this (possibly executor) thread
+        # and attribute the engine's I/O to both the trace's ledger and
+        # the enclosing batch tap via the scoped tap's fold-on-exit.
+        with activate_trace(trace), scoped_tap(trace) as tap:
+            start = time.perf_counter()
+            value, stats = self._dispatch(engine, request)
+            end = time.perf_counter()
+        trace.add_span(
+            f"engine:{request.kind}",
+            start,
+            end,
+            cat="engine",
+            index=getattr(request, "index", None) or "",
+            io=tap.snapshot(),
+        )
         return RequestResult(
-            request=request, value=value, stats=stats, latency_s=latency
+            request=request, value=value, stats=stats, latency_s=end - start
         )
 
     def _batch_names(self, requests: Iterable[Request]) -> set[str]:
@@ -403,16 +458,11 @@ class QueryServer:
                 names.add(request.index)
         return names
 
-    def _page_stores(self, names: Iterable[str]) -> list:
-        """Distinct paged (or sharded-aggregate) stores behind indexes."""
-        stores: dict[int, Any] = {}
-        for name in names:
-            store = self._tree(name).store
-            if hasattr(store, "stats"):  # PagedNodeStore / sharded view
-                stores[id(store)] = store
-        return list(stores.values())
-
-    def submit(self, requests: Sequence[Request]) -> BatchReport:
+    def submit(
+        self,
+        requests: Sequence[Request],
+        traces: Sequence[Trace | None] | None = None,
+    ) -> BatchReport:
         """Execute one batch and report results in submission order.
 
         Writes (insert/delete) are applied first, in submission order
@@ -420,14 +470,20 @@ class QueryServer:
         observe the post-write state.  When :attr:`sync_writes` is set,
         every mutated index that supports ``sync()`` is flushed before
         the reads run.
+
+        ``traces`` optionally aligns one
+        :class:`~repro.obs.trace.Trace` (or None) with each request:
+        traced requests get engine/write spans with per-request I/O
+        attribution, recorded in the thread that executes them.  A
+        deduplicated repeat's trace gets a ``dedup-hit`` instant event
+        instead of spans.
         """
         start = time.perf_counter()
         report = BatchReport(requests=len(requests))
+        if traces is not None and len(traces) != len(requests):
+            raise ValueError("traces must align one-to-one with requests")
 
         names = self._batch_names(requests)
-        page_stores = self._page_stores(names)
-        physical_before = sum(s.stats.misses for s in page_stores)
-        flushed_before = sum(s.stats.flushes for s in page_stores)
         sharded = {
             name: tree
             for name in sorted(names)
@@ -437,61 +493,95 @@ class QueryServer:
             name: tree.shard_loads() for name, tree in sharded.items()
         }
 
-        # Phase 1: writes, strictly in submission order, never deduped.
-        write_results: dict[int, RequestResult] = {}
-        mutated: set[str] = set()
-        for i, request in enumerate(requests):
-            if isinstance(request, _WRITE_KINDS):
-                write_results[i] = self._execute_write(request)
-                mutated.add(request.index)
-        for name in mutated:
-            # Warm engines hold pre-update nodes; rebuild them lazily.
-            self._invalidate(name)
-            if self.sync_writes:
-                tree = self._tree(name)
-                sync = getattr(tree, "sync", None)
-                if callable(sync):
-                    sync()
+        # Everything the batch does — writes, sync, reads on any number
+        # of worker threads — attributes to this tap, so the report's
+        # physical/logical numbers are exactly this batch's traffic even
+        # with other batches in flight on the same handles.
+        with scoped_tap() as batch_tap:
+            # Phase 1: writes, strictly in submission order, never
+            # deduped.
+            write_results: dict[int, RequestResult] = {}
+            mutated: set[str] = set()
+            for i, request in enumerate(requests):
+                if isinstance(request, _WRITE_KINDS):
+                    write_results[i] = self._execute_write(
+                        request, traces[i] if traces else None
+                    )
+                    mutated.add(request.index)
+            for name in mutated:
+                # Warm engines hold pre-update nodes; rebuild lazily.
+                self._invalidate(name)
+                if self.sync_writes:
+                    tree = self._tree(name)
+                    sync = getattr(tree, "sync", None)
+                    if callable(sync):
+                        sync()
 
-        # Phase 2: reads — deduplicate while preserving first-occurrence
-        # order.
-        reads = [
-            (i, request)
-            for i, request in enumerate(requests)
-            if i not in write_results
-        ]
-        if self.dedup:
-            unique: "OrderedDict[Request, None]" = OrderedDict()
-            for _, request in reads:
-                unique.setdefault(request, None)
-            to_run: list[tuple[Any, Request]] = [
-                (request, request) for request in unique
+            # Phase 2: reads — deduplicate while preserving
+            # first-occurrence order (a repeat rides on the first
+            # occurrence's execution, trace included).
+            reads = [
+                (i, request)
+                for i, request in enumerate(requests)
+                if i not in write_results
             ]
-        else:
-            # Keyed by position so repeats execute individually.
-            to_run = reads
+            to_run: list[tuple[Any, Request, Trace | None]]
+            if self.dedup:
+                unique: "OrderedDict[Request, Trace | None]" = OrderedDict()
+                for i, request in reads:
+                    if request not in unique:
+                        unique[request] = traces[i] if traces else None
+                to_run = [
+                    (request, request, trace)
+                    for request, trace in unique.items()
+                ]
+            else:
+                # Keyed by position so repeats execute individually.
+                to_run = [
+                    (i, request, traces[i] if traces else None)
+                    for i, request in reads
+                ]
 
-        # Group for engine affinity and locality sorting.
-        groups: "OrderedDict[tuple, list[tuple[Any, Request]]]" = OrderedDict()
-        for key, request in to_run:
-            groups.setdefault(_group_key(request), []).append((key, request))
+            # Group for engine affinity and locality sorting.
+            groups: "OrderedDict[tuple, list]" = OrderedDict()
+            for key, request, trace in to_run:
+                groups.setdefault(_group_key(request), []).append(
+                    (key, request, trace)
+                )
 
-        def run(entries: list[tuple[Any, Request]]):
-            ordered = (
-                sorted(entries, key=lambda e: self._locality_key(e[1]))
-                if self.reorder
-                else entries
-            )
-            return [(key, self._execute_one(request)) for key, request in ordered]
+            def run(entries: list) -> list:
+                ordered = (
+                    sorted(entries, key=lambda e: self._locality_key(e[1]))
+                    if self.reorder
+                    else entries
+                )
+                return [
+                    (key, self._execute_one(request, trace))
+                    for key, request, trace in ordered
+                ]
 
-        executed: dict[Any, RequestResult] = {}
-        if self.workers > 1 and len(groups) > 1:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                for chunk in pool.map(run, groups.values()):
-                    executed.update(chunk)
-        else:
-            for entries in groups.values():
-                executed.update(run(entries))
+            def run_scoped(entries: list) -> list:
+                # Worker threads own a fresh tap (plain increments are
+                # single-threaded) that folds into the batch tap on exit.
+                with scoped_tap():
+                    return run(entries)
+
+            executed: dict[Any, RequestResult] = {}
+            if self.workers > 1 and len(groups) > 1:
+                # The pool's threads do not inherit this context — ship
+                # it (batch tap included) with each group explicitly.
+                jobs = [
+                    (contextvars.copy_context(), entries)
+                    for entries in groups.values()
+                ]
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    for chunk in pool.map(
+                        lambda job: job[0].run(run_scoped, job[1]), jobs
+                    ):
+                        executed.update(chunk)
+            else:
+                for entries in groups.values():
+                    executed.update(run(entries))
 
         # Reassemble in submission order; repeats of an executed read
         # share its payload and cost nothing further.
@@ -513,6 +603,8 @@ class QueryServer:
                     )
                 )
                 report.dedup_hits += 1
+                if traces is not None and traces[i] is not None:
+                    traces[i].event("dedup-hit", kind=request.kind)
             else:
                 emitted.add(key)
                 report.results.append(done)
@@ -534,12 +626,11 @@ class QueryServer:
                 report.internal_reads += stats.internal_reads
                 report.reported += stats.reported
 
-        report.physical_reads = (
-            sum(s.stats.misses for s in page_stores) - physical_before
-        )
-        report.pages_flushed = (
-            sum(s.stats.flushes for s in page_stores) - flushed_before
-        )
+        # Batch-attributed physical traffic: exactly what this batch
+        # caused, regardless of concurrent batches on the same stores.
+        report.physical_reads = batch_tap.misses
+        report.pages_flushed = batch_tap.flushes
+        report.io = batch_tap.snapshot()
         for name, tree in sharded.items():
             report.shard_loads[name] = [
                 after - before

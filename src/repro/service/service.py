@@ -47,12 +47,17 @@ why write batches run with the read lanes quiesced.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import functools
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Trace, Tracer
 from repro.rtree.tree import RTree
 from repro.server.requests import DeleteRequest, InsertRequest, Request
 from repro.server.server import QueryServer
@@ -129,7 +134,7 @@ class ServiceResponse:
 class _Pending:
     """A queued request and the future its client awaits."""
 
-    __slots__ = ("request", "future", "enqueued_at")
+    __slots__ = ("request", "future", "enqueued_at", "drained_at", "trace")
 
     def __init__(
         self, request: Request, future: "asyncio.Future[ServiceResponse]"
@@ -137,6 +142,9 @@ class _Pending:
         self.request = request
         self.future = future
         self.enqueued_at = time.perf_counter()
+        #: Stamped when the request leaves its lane for a batch.
+        self.drained_at = self.enqueued_at
+        self.trace: Trace | None = None
 
 
 class AsyncQueryService:
@@ -182,6 +190,25 @@ class AsyncQueryService:
     server_workers:
         ``workers`` for each pool server: >1 additionally fans one
         sharded request across its shards.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When set, every
+        request the tracer's sampling keeps (or that turns out slow)
+        records admission/queue/coalesce-or-quiesce/execute spans plus
+        the engine/shard spans the lower layers add, with exact
+        per-request I/O attribution.  ``None`` (default) is the no-op
+        fast path.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  A
+        periodic snapshot task copies the service's counters, queue
+        gauges, per-kind latency histograms and per-index/per-shard I/O
+        totals into it every ``metrics_interval`` seconds (and once
+        more at close).
+    metrics_interval:
+        Seconds between metric snapshots.
+    slow_log:
+        Optional :class:`~repro.obs.slowlog.SlowQueryLog`; every
+        completed request at or over its threshold is recorded with its
+        queue/engine split and attributed I/O.
 
     Use as an async context manager, or call :meth:`start` /
     :meth:`aclose` explicitly.  :meth:`submit` starts the dispatcher
@@ -201,6 +228,10 @@ class AsyncQueryService:
         reorder: bool = True,
         sync_writes: bool = False,
         server_workers: int = 1,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        metrics_interval: float = 1.0,
+        slow_log: SlowQueryLog | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -215,6 +246,8 @@ class AsyncQueryService:
             )
         if executor_workers < 1:
             raise ValueError("executor_workers must be >= 1")
+        if metrics_interval <= 0:
+            raise ValueError("metrics_interval must be > 0")
         self.max_batch = max_batch
         self.flush_interval = flush_interval
         self.max_pending_reads = max_pending_reads
@@ -222,6 +255,10 @@ class AsyncQueryService:
         self.admission = admission
         self.executor_workers = executor_workers
         self.stats = ServiceStats()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.metrics_interval = metrics_interval
+        self.slow_log = slow_log
 
         self._writer = QueryServer(
             indexes,
@@ -256,6 +293,7 @@ class AsyncQueryService:
         self._server_freed = asyncio.Event()
         self._space = asyncio.Condition()
         self._dispatcher: asyncio.Task | None = None
+        self._metrics_task: asyncio.Task | None = None
         self._closing = False
         self._closed = False
 
@@ -270,6 +308,10 @@ class AsyncQueryService:
         if self._dispatcher is None:
             self._dispatcher = asyncio.get_running_loop().create_task(
                 self._dispatch(), name="repro-service-dispatcher"
+            )
+        if self.metrics is not None and self._metrics_task is None:
+            self._metrics_task = asyncio.get_running_loop().create_task(
+                self._metrics_loop(), name="repro-service-metrics"
             )
 
     async def aclose(self) -> None:
@@ -287,6 +329,15 @@ class AsyncQueryService:
         if self._dispatcher is not None:
             await self._dispatcher
             self._dispatcher = None
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._metrics_task
+            self._metrics_task = None
+        if self.metrics is not None:
+            # One final snapshot so the exported state includes the
+            # last partial interval.
+            self.snapshot_metrics()
         self._closed = True
         self._executor.shutdown(wait=True)
 
@@ -326,6 +377,7 @@ class AsyncQueryService:
         if self._closing:
             raise ServiceClosed("the service is shut down")
         self.start()
+        admitted_from = time.perf_counter()
         lane, bound, name = self._lane(request)
         if len(lane) >= bound:
             if self.admission == "reject":
@@ -343,6 +395,23 @@ class AsyncQueryService:
         pending = _Pending(
             request, asyncio.get_running_loop().create_future()
         )
+        if self.tracer is not None:
+            # The trace covers admission → response; its spans then
+            # partition that window exactly (admission/queue/coalesce-
+            # or-quiesce/execute), so per-span time accounts for the
+            # reported end-to-end latency.
+            trace = self.tracer.begin(
+                request.kind, request.kind, start_s=admitted_from
+            )
+            if trace is not None:
+                trace.add_span(
+                    "admission",
+                    admitted_from,
+                    pending.enqueued_at,
+                    cat="service",
+                    lane=name,
+                )
+                pending.trace = trace
         lane.append(pending)
         self.stats.submitted += 1
         self.stats.note_queue_depth(self.queue_depth)
@@ -405,8 +474,11 @@ class AsyncQueryService:
 
     def _drain(self, lane: deque) -> list[_Pending]:
         batch = []
+        drained_at = time.perf_counter()
         while lane and len(batch) < self.max_batch:
-            batch.append(lane.popleft())
+            pending = lane.popleft()
+            pending.drained_at = drained_at
+            batch.append(pending)
         self.stats.note_queue_depth(self.queue_depth)
         return batch
 
@@ -458,14 +530,27 @@ class AsyncQueryService:
         """Execute one batch on the executor and resolve its futures."""
         started = time.perf_counter()
         requests = [pending.request for pending in batch]
+        # Traces ride along explicitly: run_in_executor does not carry
+        # this task's contextvars, and one batch holds many traces — the
+        # server activates each request's trace in the thread (and at
+        # the moment) that request actually executes.
+        traces: list[Trace | None] | None = None
+        if any(pending.trace is not None for pending in batch):
+            traces = [pending.trace for pending in batch]
         try:
             report = await asyncio.get_running_loop().run_in_executor(
-                self._executor, server.submit, requests
+                self._executor,
+                functools.partial(server.submit, requests, traces),
             )
         except Exception as exc:
             for pending in batch:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
+                if pending.trace is not None:
+                    pending.trace.event(
+                        "error", type=type(exc).__name__, message=str(exc)
+                    )
+                    self.tracer.finish(pending.trace)
             return
         finally:
             if not write:
@@ -484,12 +569,58 @@ class AsyncQueryService:
         done = time.perf_counter()
         self.stats.batches += 1
         for pending, result in zip(batch, report.results):
+            latency = done - pending.enqueued_at
+            if pending.trace is not None:
+                trace = pending.trace
+                # These three spans partition enqueue → response
+                # exactly; with the admission span they cover the whole
+                # trace window.
+                trace.add_span(
+                    "queue",
+                    pending.enqueued_at,
+                    pending.drained_at,
+                    cat="service",
+                    lane="write" if write else "read",
+                )
+                trace.add_span(
+                    "write-quiesce" if write else "coalesce",
+                    pending.drained_at,
+                    started,
+                    cat="service",
+                )
+                trace.add_span(
+                    "execute",
+                    started,
+                    done,
+                    cat="service",
+                    batch_size=len(batch),
+                    deduped=result.deduped,
+                )
+                self.tracer.finish(trace, end_s=done)
+            if self.slow_log is not None:
+                self.slow_log.note(
+                    pending.request.kind,
+                    latency,
+                    queue_s=pending.drained_at - pending.enqueued_at,
+                    engine_s=result.latency_s,
+                    batch_size=len(batch),
+                    detail=repr(pending.request),
+                    io=(
+                        pending.trace.io.snapshot()
+                        if pending.trace is not None
+                        else None
+                    ),
+                    trace_id=(
+                        pending.trace.trace_id
+                        if pending.trace is not None
+                        else None
+                    ),
+                )
             if pending.future.done():
                 # The client gave up (e.g. wait_for cancelled the
                 # await) while the batch was in flight; the work is
                 # done either way, only the delivery is moot.
                 continue
-            latency = done - pending.enqueued_at
             self.stats.observe(pending.request.kind, latency)
             pending.future.set_result(
                 ServiceResponse(
@@ -502,6 +633,89 @@ class AsyncQueryService:
                     batch_size=len(batch),
                 )
             )
+
+    # ------------------------------------------------------------------
+    # Metrics snapshots
+    # ------------------------------------------------------------------
+
+    async def _metrics_loop(self) -> None:
+        """Copy service state into the registry every interval."""
+        while True:
+            await asyncio.sleep(self.metrics_interval)
+            self.snapshot_metrics()
+
+    def snapshot_metrics(self) -> None:
+        """Mirror the live counters/histograms into :attr:`metrics`.
+
+        Exports the four label dimensions of the stack: ``lane``
+        (admission/queue), ``kind`` (latency summaries), ``index`` and
+        ``shard`` (attributed I/O totals).  The serving hot path never
+        touches the registry — this copies already-maintained state, so
+        it is safe to call at any time (the periodic task and the final
+        :meth:`aclose` snapshot both land here).
+        """
+        registry = self.metrics
+        if registry is None:
+            return
+        stats = self.stats
+        registry.counter(
+            "repro_requests_submitted_total", "Requests admitted to a lane"
+        ).labels().set_total(stats.submitted)
+        registry.counter(
+            "repro_requests_completed_total", "Requests answered"
+        ).labels().set_total(stats.completed)
+        rejected = registry.counter(
+            "repro_requests_rejected_total",
+            "Requests refused by admission control",
+            ("lane",),
+        )
+        rejected.labels("read").set_total(stats.rejected_reads)
+        rejected.labels("write").set_total(stats.rejected_writes)
+        registry.counter(
+            "repro_batches_total", "Batches handed to the executor"
+        ).labels().set_total(stats.batches)
+        depth = registry.gauge(
+            "repro_queue_depth", "Requests queued per lane", ("lane",)
+        )
+        depth.labels("read").set(len(self._reads))
+        depth.labels("write").set(len(self._writes))
+        registry.gauge(
+            "repro_queue_depth_max", "High-water queued requests"
+        ).labels().set(stats.max_queue_depth)
+        registry.gauge(
+            "repro_throughput_rps", "Completed requests per second"
+        ).labels().set(stats.throughput_rps)
+        latency = registry.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency by request kind",
+            ("kind",),
+        )
+        for kind, histogram in list(stats.by_kind.items()):
+            latency.labels(kind).set_from(histogram)
+
+        logical = registry.counter(
+            "repro_index_logical_ios_total",
+            "Logical block I/Os per index",
+            ("index", "op"),
+        )
+        shard_busy = registry.gauge(
+            "repro_shard_busy_seconds_total",
+            "Wall-clock seconds the sharded engines spent per shard",
+            ("index", "shard"),
+        )
+        shard_reads = registry.counter(
+            "repro_shard_logical_reads_total",
+            "Logical block reads per shard",
+            ("index", "shard"),
+        )
+        for name, tree in self._writer.indexes.items():
+            snapshot = tree.store.counters.snapshot()
+            logical.labels(name, "read").set_total(snapshot.reads)
+            logical.labels(name, "write").set_total(snapshot.writes)
+            if isinstance(tree, ShardedTree):
+                for i, load in enumerate(tree.shard_loads()):
+                    shard_busy.labels(name, str(i)).set(load.busy_s)
+                    shard_reads.labels(name, str(i)).set_total(load.reads)
 
     def __repr__(self) -> str:
         return (

@@ -56,6 +56,7 @@ from typing import Iterator
 from repro.iomodel.blockstore import DEFAULT_BLOCK_SIZE, FreedBlockError
 from repro.iomodel.counters import IOCounters
 from repro.iomodel.store import BlockId
+from repro.obs.tap import active_tap
 
 __all__ = ["FileBlockStore", "StorageError", "HEADER_REGION"]
 
@@ -376,11 +377,14 @@ class FileBlockStore:
         Freed blocks are reused (freelist pop) before the file grows.
         """
         data = self._pad(payload)
+        tap = active_tap()
         with self._lock:
             self._check_writable()
             block_id = self._claim_locked()
             self._pwrite(self._offset(block_id), data)
             self.counters.record_write(block_id)
+            if tap is not None:
+                tap.writes += 1
         return block_id
 
     def reserve(self) -> BlockId:
@@ -436,20 +440,26 @@ class FileBlockStore:
 
     def read(self, block_id: BlockId) -> bytes:
         """Read one block of bytes, counting one I/O."""
+        tap = active_tap()
         with self._lock:
             self._check_live(block_id)
             data = self._read_bytes(block_id)
             self.counters.record_read(block_id)
+            if tap is not None:
+                tap.reads += 1
         return data
 
     def write(self, block_id: BlockId, payload: bytes) -> None:
         """Overwrite a block in place, counting one I/O."""
         data = self._pad(payload)
+        tap = active_tap()
         with self._lock:
             self._check_writable()
             self._check_live(block_id)
             self._pwrite(self._offset(block_id), data)
             self.counters.record_write(block_id)
+            if tap is not None:
+                tap.writes += 1
 
     def write_back(self, block_id: BlockId, payload: bytes) -> None:
         """Physically write a block *without* counting I/O.

@@ -56,6 +56,7 @@ from repro.iomodel.blockstore import DEFAULT_BLOCK_SIZE
 from repro.iomodel.codec import NodeCodec
 from repro.iomodel.counters import IOCounters
 from repro.iomodel.store import BlockId
+from repro.obs.tap import IOTap, active_tap
 from repro.rtree.node import Node
 from repro.rtree.persist import PersistError
 from repro.rtree.tree import RTree
@@ -183,27 +184,39 @@ class PagedNodeStore:
 
     # -- page table ----------------------------------------------------
 
-    def _get_locked(self, block_id: BlockId) -> Node:
-        """Counted-read lookup: hits bump recency, misses fill the cache."""
+    def _get_locked(self, block_id: BlockId, tap: IOTap | None) -> Node:
+        """Counted-read lookup: hits bump recency, misses fill the cache.
+
+        Every ``stats`` increment here (and in the helpers below) has a
+        matching tap increment so the active context's
+        :class:`~repro.obs.tap.IOTap` holds exactly its slice of the
+        shared :class:`PageCacheStats` — attribution, not re-counting.
+        """
         node = self._pages.get(block_id)
         if node is not None:
             self.stats.hits += 1
+            if tap is not None:
+                tap.hits += 1
             self._pages.move_to_end(block_id)
             self._mru = (block_id, node)
             return node
         if self._mru is not None and self._mru[0] == block_id:
             # Peeked but not yet cached: promote without a second decode.
             self.stats.hits += 1
+            if tap is not None:
+                tap.hits += 1
             node = self._mru[1]
-            self._cache_locked(block_id, node)
+            self._cache_locked(block_id, node, tap=tap)
             return node
         self.stats.misses += 1
+        if tap is not None:
+            tap.misses += 1
         is_leaf, entries = self.codec.decode(self.file_store.peek(block_id))
         node = Node(is_leaf, entries)
-        self._cache_locked(block_id, node)
+        self._cache_locked(block_id, node, tap=tap)
         return node
 
-    def _peek_locked(self, block_id: BlockId) -> Node:
+    def _peek_locked(self, block_id: BlockId, tap: IOTap | None) -> Node:
         """Uncounted lookup that reads *around* the cache.
 
         Serves cached (including dirty) pages but never reorders the
@@ -215,25 +228,35 @@ class PagedNodeStore:
         node = self._pages.get(block_id)
         if node is not None:
             self.stats.hits += 1
+            if tap is not None:
+                tap.hits += 1
             self._mru = (block_id, node)
             return node
         if self._mru is not None and self._mru[0] == block_id:
             self.stats.hits += 1
+            if tap is not None:
+                tap.hits += 1
             return self._mru[1]
         self.stats.misses += 1
+        if tap is not None:
+            tap.misses += 1
         is_leaf, entries = self.codec.decode(self.file_store.peek(block_id))
         node = Node(is_leaf, entries)
         self._mru = (block_id, node)
         return node
 
     def _cache_locked(
-        self, block_id: BlockId, node: Node, dirty: bool = False
+        self,
+        block_id: BlockId,
+        node: Node,
+        dirty: bool = False,
+        tap: IOTap | None = None,
     ) -> None:
         self._mru = (block_id, node)
         if self.capacity == 0:
             if dirty:
                 # No room to defer: degenerate to write-through.
-                self._flush_locked(block_id, node)
+                self._flush_locked(block_id, node, tap)
             return
         self._pages[block_id] = node
         self._pages.move_to_end(block_id)
@@ -242,15 +265,21 @@ class PagedNodeStore:
         while len(self._pages) > self.capacity:
             victim, victim_node = self._pages.popitem(last=False)
             if victim in self._dirty:
-                self._flush_locked(victim, victim_node)
+                self._flush_locked(victim, victim_node, tap)
                 self._dirty.discard(victim)
             self.stats.evictions += 1
+            if tap is not None:
+                tap.evictions += 1
 
-    def _flush_locked(self, block_id: BlockId, node: Node) -> None:
+    def _flush_locked(
+        self, block_id: BlockId, node: Node, tap: IOTap | None = None
+    ) -> None:
         """Encode one dirty page and physically write it (uncounted)."""
         encoded = self.codec.encode(node.is_leaf, node.entries)
         self.file_store.write_back(block_id, encoded)
         self.stats.flushes += 1
+        if tap is not None:
+            tap.flushes += 1
 
     def cached_pages(self) -> int:
         """Decoded pages currently held (≤ capacity)."""
@@ -266,13 +295,14 @@ class PagedNodeStore:
         Flushes in block-id order so write-back I/O is as sequential as
         the dirtied working set allows.
         """
+        tap = active_tap()
         with self._lock:
-            return self._sync_locked()
+            return self._sync_locked(tap)
 
-    def _sync_locked(self) -> int:
+    def _sync_locked(self, tap: IOTap | None = None) -> int:
         flushed = 0
         for block_id in sorted(self._dirty):
-            self._flush_locked(block_id, self._pages[block_id])
+            self._flush_locked(block_id, self._pages[block_id], tap)
             flushed += 1
         self._dirty.clear()
         return flushed
@@ -284,7 +314,7 @@ class PagedNodeStore:
         lose writes.
         """
         with self._lock:
-            self._sync_locked()
+            self._sync_locked(active_tap())
             self._pages.clear()
             self._mru = None
 
@@ -300,9 +330,12 @@ class PagedNodeStore:
 
     def read(self, block_id: BlockId) -> Node:
         """Read a node, counting one logical I/O (cached page or not)."""
+        tap = active_tap()
         with self._lock:
-            node = self._get_locked(block_id)
+            node = self._get_locked(block_id, tap)
             self.counters.record_read(block_id)
+            if tap is not None:
+                tap.reads += 1
             return node
 
     def peek(self, block_id: BlockId) -> Node:
@@ -313,7 +346,7 @@ class PagedNodeStore:
         perturbs what the counted read path has warmed.
         """
         with self._lock:
-            return self._peek_locked(block_id)
+            return self._peek_locked(block_id, active_tap())
 
     def write(self, block_id: BlockId, node: Node) -> None:
         """Write a node back: one logical I/O, deferred physical write.
@@ -329,12 +362,15 @@ class PagedNodeStore:
                 f"{len(node.entries)} entries exceed block fan-out "
                 f"{self.codec.fanout}"
             )
+        tap = active_tap()
         with self._lock:
             self._check_writable_locked()
             # Same KeyError/FreedBlockError contract as a direct write.
             self.file_store._check_live(block_id)
             self.counters.record_write(block_id)
-            self._cache_locked(block_id, node, dirty=True)
+            if tap is not None:
+                tap.writes += 1
+            self._cache_locked(block_id, node, dirty=True, tap=tap)
 
     def allocate(self, node: Node | None = None) -> BlockId:
         """Allocate a block for a node, counting the materializing write.
@@ -348,13 +384,18 @@ class PagedNodeStore:
                 f"{len(node.entries)} entries exceed block fan-out "
                 f"{self.codec.fanout}"
             )
+        tap = active_tap()
         with self._lock:
             self._check_writable_locked()
             if node is None:
+                # Delegates to the file store, whose own hook attributes
+                # the counted write — no increment here (no double count).
                 return self.file_store.allocate(None)
             block_id = self.file_store.reserve()
             self.counters.record_write(block_id)
-            self._cache_locked(block_id, node, dirty=True)
+            if tap is not None:
+                tap.writes += 1
+            self._cache_locked(block_id, node, dirty=True, tap=tap)
             return block_id
 
     def free(self, block_id: BlockId) -> None:

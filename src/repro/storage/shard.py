@@ -45,6 +45,7 @@ from.
 
 from __future__ import annotations
 
+import contextvars
 import heapq
 import json
 import math
@@ -61,6 +62,8 @@ from repro.geometry.hilbert import DEFAULT_ORDER, hilbert_key_for_center
 from repro.geometry.rect import Rect, mbr_of
 from repro.iomodel.blockstore import BlockStore, DEFAULT_BLOCK_SIZE
 from repro.iomodel.counters import IOSnapshot
+from repro.obs.tap import active_tap, scoped_tap
+from repro.obs.trace import current_trace
 from repro.queries.join import JoinStats, SpatialJoinEngine
 from repro.queries.knn import KNNEngine, Neighbor
 from repro.queries.point import PointQueryEngine
@@ -981,12 +984,35 @@ class _ShardedFanout:
         self, indices: list[int], task: Callable[[int], Any]
     ) -> list[Any]:
         """Run ``task`` per shard, in parallel when allowed; results in
-        ``indices`` order."""
+        ``indices`` order.
+
+        When the calling context is traced (or carries an attribution
+        tap), each shard task runs under its own scoped tap — folded
+        into the caller's on exit, so batch/request I/O totals stay
+        exact across the pool hop — and records a per-shard span on its
+        own trace track (parallel shards must not share a Perfetto row).
+        """
+        trace = current_trace()
+        observed = trace is not None or active_tap() is not None
 
         def timed(i: int):
             start = time.perf_counter()
             try:
-                return task(i)
+                if not observed:
+                    return task(i)
+                with scoped_tap() as tap:
+                    try:
+                        return task(i)
+                    finally:
+                        if trace is not None:
+                            trace.add_span(
+                                f"shard:{i}",
+                                start,
+                                time.perf_counter(),
+                                cat="shard",
+                                track=i + 1,
+                                io=tap.snapshot(),
+                            )
             finally:
                 self.sharded._note_shard_time(
                     i, time.perf_counter() - start
@@ -994,6 +1020,13 @@ class _ShardedFanout:
 
         if self.workers > 1 and len(indices) > 1:
             pool = self.sharded.fanout_pool(self.workers)
+            if observed:
+                # Pool threads do not inherit this context: ship a copy
+                # (active tap and trace) with every shard task.
+                jobs = [(contextvars.copy_context(), i) for i in indices]
+                return list(
+                    pool.map(lambda job: job[0].run(timed, job[1]), jobs)
+                )
             return list(pool.map(timed, indices))
         return [timed(i) for i in indices]
 
@@ -1307,7 +1340,22 @@ class ShardedJoinEngine:
                 else self._right
             )
             pool = owner.fanout_pool(self.workers)
-            parts = list(pool.map(run, tasks))
+            if current_trace() is not None or active_tap() is not None:
+                # Keep attribution exact across the pool hop: each task
+                # carries a copy of this context and its own scoped tap.
+                def run_attributed(job):
+                    ctx, task = job
+                    def scoped():
+                        with scoped_tap():
+                            return run(task)
+                    return ctx.run(scoped)
+
+                jobs = [
+                    (contextvars.copy_context(), task) for task in tasks
+                ]
+                parts = list(pool.map(run_attributed, jobs))
+            else:
+                parts = list(pool.map(run, tasks))
         else:
             parts = [run(task) for task in tasks]
 

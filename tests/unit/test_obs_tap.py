@@ -1,0 +1,145 @@
+"""IOTap semantics: context scoping, fold roll-up, trace crediting.
+
+The attribution invariant the storage hooks rely on lives here in
+miniature: every increment lands on exactly one tap, child scopes fold
+into their parent exactly once, and a scope opened for a trace credits
+the trace's ledger exactly once — never twice, never zero times —
+regardless of nesting or thread hops (docs/observability.md).
+"""
+
+import contextvars
+import threading
+
+from repro.obs import IOTap, Trace, active_tap, install_tap, scoped_tap
+
+
+def bump(tap, reads=0, writes=0, hits=0, misses=0, evictions=0, flushes=0):
+    tap.reads += reads
+    tap.writes += writes
+    tap.hits += hits
+    tap.misses += misses
+    tap.evictions += evictions
+    tap.flushes += flushes
+
+
+class TestActiveTap:
+    def test_no_tap_by_default(self):
+        assert active_tap() is None
+
+    def test_install_and_reset(self):
+        tap = IOTap()
+        with install_tap(tap):
+            assert active_tap() is tap
+        assert active_tap() is None
+
+    def test_install_none_suspends_attribution(self):
+        outer = IOTap()
+        with install_tap(outer):
+            with install_tap(None):
+                assert active_tap() is None
+            assert active_tap() is outer
+
+    def test_scoped_tap_is_fresh_and_active(self):
+        with scoped_tap() as tap:
+            assert active_tap() is tap
+            assert tap.snapshot() == {
+                "reads": 0,
+                "writes": 0,
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "flushes": 0,
+            }
+        assert active_tap() is None
+
+
+class TestFolding:
+    def test_child_folds_into_parent_on_exit(self):
+        with scoped_tap() as parent:
+            with scoped_tap() as child:
+                bump(child, reads=3, misses=1)
+            # Child totals rolled up; parent was isolated meanwhile.
+            assert parent.reads == 3
+            assert parent.misses == 1
+            bump(parent, writes=2)
+        assert parent.writes == 2
+
+    def test_fold_is_additive(self):
+        parent = IOTap()
+        child = IOTap()
+        bump(child, reads=1, writes=2, hits=3, misses=4, evictions=5, flushes=6)
+        parent.fold(child)
+        parent.fold(child)
+        assert parent.snapshot() == {
+            "reads": 2,
+            "writes": 4,
+            "hits": 6,
+            "misses": 8,
+            "evictions": 10,
+            "flushes": 12,
+        }
+
+    def test_physical_aliases(self):
+        tap = IOTap()
+        bump(tap, reads=5, writes=2, misses=3, flushes=4)
+        assert tap.physical_reads == 3
+        assert tap.physical_writes == 4
+        assert tap.logical_ios == 7
+
+
+class TestTraceCrediting:
+    def test_scope_with_trace_credits_trace_ledger(self):
+        trace = Trace(1, "t", "window", sampled=True)
+        with scoped_tap(trace) as tap:
+            bump(tap, reads=4, misses=2)
+        assert trace.io.reads == 4
+        assert trace.io.misses == 2
+
+    def test_nested_scopes_credit_trace_exactly_once(self):
+        # A nested scope inherits the trace; only the outermost scope of
+        # the trace may credit trace.io, or I/O would double-count.
+        trace = Trace(1, "t", "window", sampled=True)
+        with scoped_tap(trace) as outer:
+            with scoped_tap() as inner:
+                assert inner.trace is trace
+                bump(inner, reads=7)
+            assert outer.reads == 7
+        assert trace.io.reads == 7
+
+    def test_thread_hop_credits_trace_without_parent(self):
+        # The executor-thread idiom: copy_context + scoped_tap on the
+        # far side.  The hopped scope has no parent tap in its context,
+        # so it credits the trace directly.
+        trace = Trace(1, "t", "window", sampled=True)
+
+        def far_side():
+            with scoped_tap(trace) as tap:
+                bump(tap, reads=2, misses=1)
+
+        ctx = contextvars.copy_context()
+        thread = threading.Thread(target=ctx.run, args=(far_side,))
+        thread.start()
+        thread.join()
+        assert trace.io.reads == 2
+        assert trace.io.misses == 1
+
+    def test_concurrent_children_fold_exactly(self):
+        # Many threads, each owning its tap, all rolling up into one
+        # parent under its lock: the sum is exact.
+        with scoped_tap() as parent:
+
+            def work(n):
+                with scoped_tap() as tap:
+                    for _ in range(n):
+                        tap.reads += 1
+
+            ctxs = [contextvars.copy_context() for _ in range(8)]
+            threads = [
+                threading.Thread(target=ctx.run, args=(work, 100))
+                for ctx in ctxs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert parent.reads == 800

@@ -1,0 +1,197 @@
+"""Tracer sampling rules, span recording, and the Chrome-trace export.
+
+Covers the two sampling rules of docs/observability.md (head sampling
+at begin, always-emit-if-slow at finish), the span/event recording API,
+and the full write → load → nesting-check round trip the CI smoke step
+leans on.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Trace,
+    TraceWriter,
+    Tracer,
+    activate_trace,
+    check_span_nesting,
+    current_trace,
+    load_trace_events,
+)
+
+
+class TestSampling:
+    def test_full_sampling_traces_everything(self):
+        tracer = Tracer(sample_rate=1.0, keep_finished=True)
+        traces = [tracer.begin("r", "window") for _ in range(20)]
+        assert all(t is not None and t.sampled for t in traces)
+        for t in traces:
+            assert tracer.finish(t)
+        assert tracer.emitted == 20
+
+    def test_zero_sampling_without_threshold_is_dropped_at_begin(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.begin("r", "window") is None
+        # Dropped begins cost nothing downstream:
+        assert tracer.finish(None) is False
+        assert tracer.started == 0
+        assert tracer.emitted == 0
+
+    def test_head_sampling_is_deterministic_under_seed(self):
+        decisions = []
+        for _ in range(2):
+            tracer = Tracer(sample_rate=0.5, seed=42)
+            decisions.append(
+                [tracer.begin("r") is not None for _ in range(100)]
+            )
+        assert decisions[0] == decisions[1]
+        assert 20 < sum(decisions[0]) < 80  # actually samples
+
+    def test_slow_threshold_promotes_dropped_trace(self):
+        # Head sampling at 0 still *builds* the trace when a slow
+        # threshold is armed, and emits it when the duration crosses.
+        tracer = Tracer(
+            sample_rate=0.0, slow_threshold_s=0.0, keep_finished=True
+        )
+        trace = tracer.begin("r", "knn")
+        assert trace is not None
+        assert trace.sampled is False
+        assert tracer.finish(trace) is True
+        assert trace.slow is True
+        assert tracer.slow == 1
+        assert tracer.emitted == 1
+
+    def test_fast_unsampled_trace_is_not_emitted(self):
+        tracer = Tracer(sample_rate=0.0, slow_threshold_s=3600.0)
+        trace = tracer.begin("r", "knn")
+        assert tracer.finish(trace) is False
+        assert tracer.emitted == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(slow_threshold_s=-1.0)
+
+
+class TestTraceRecording:
+    def test_span_context_manager_times_the_body(self):
+        trace = Trace(1, "r", "window", sampled=True)
+        with trace.span("engine:window", cat="engine", index="main") as span:
+            pass
+        assert trace.spans == [span]
+        assert span.end_s >= span.start_s
+        assert span.args == {"index": "main"}
+
+    def test_add_span_and_event(self):
+        trace = Trace(1, "r", "window", sampled=True)
+        span = trace.add_span("queue", 1.0, 2.5, cat="service", lane="read")
+        assert span.duration_s == pytest.approx(1.5)
+        trace.event("dedup-hit", kind="window")
+        assert len(trace.events) == 1
+        assert trace.events[0][0] == "dedup-hit"
+
+    def test_activate_trace_sets_and_restores_context(self):
+        trace = Trace(1, "r", "window", sampled=True)
+        assert current_trace() is None
+        with activate_trace(trace):
+            assert current_trace() is trace
+        assert current_trace() is None
+
+    def test_activate_none_is_a_noop(self):
+        with activate_trace(None):
+            assert current_trace() is None
+
+
+class TestTraceWriter:
+    def _traced(self, tracer):
+        trace = tracer.begin("req", "window")
+        base = trace.start_s
+        trace.add_span("admission", base, base + 0.001)
+        trace.add_span("queue", base + 0.001, base + 0.003)
+        trace.add_span("execute", base + 0.003, base + 0.010)
+        trace.add_span(
+            "shard:0", base + 0.004, base + 0.008, cat="shard", track=1
+        )
+        trace.event("note", detail="x")
+        tracer.finish(trace, end_s=base + 0.010)
+        return trace
+
+    def test_round_trip_and_structure(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            tracer = Tracer(writer)
+            self._traced(tracer)
+            self._traced(tracer)
+        events = load_trace_events(path)
+        assert writer.traces_written == 2
+        assert len(events) == writer.events_written
+        assert check_span_nesting(events) == []
+
+        spans = [e for e in events if e.get("ph") == "X"]
+        names = [e["name"] for e in spans]
+        assert names.count("request:window") == 2
+        assert names.count("shard:0") == 2
+        # The request span carries the attribution ledger.
+        request = next(e for e in spans if e["name"] == "request:window")
+        assert set(request["args"]["io"]) == {
+            "reads", "writes", "hits", "misses", "evictions", "flushes",
+        }
+
+        # Every track is announced as a named thread, and no two tracks
+        # share a tid (concurrent spans never share a Perfetto row).
+        meta = [e for e in events if e.get("ph") == "M"]
+        tids = [e["tid"] for e in meta]
+        assert len(tids) == len(set(tids)) == 4  # 2 traces x 2 tracks
+        instants = [e for e in events if e.get("ph") == "i"]
+        assert len(instants) == 2
+
+    def test_file_is_valid_json_array_once_closed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            self._traced(Tracer(writer))
+        parsed = json.loads(path.read_text())
+        assert isinstance(parsed, list)
+
+    def test_truncated_file_still_loads(self, tmp_path):
+        # A crashed run never writes the closing bracket; the loader
+        # has the same tolerance Chrome's does.
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        self._traced(Tracer(writer))
+        writer._fh.flush()
+        events = load_trace_events(path)
+        assert any(e["name"] == "request:window" for e in events)
+        writer.close()
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        writer.close()
+        writer.close()  # idempotent
+        tracer = Tracer(writer)
+        self._traced(tracer)
+        assert writer.traces_written == 0
+
+
+class TestNestingChecker:
+    def test_detects_partial_overlap(self):
+        events = [
+            {"ph": "X", "pid": 1, "tid": 1, "name": "a", "ts": 0, "dur": 10},
+            {"ph": "X", "pid": 1, "tid": 1, "name": "b", "ts": 5, "dur": 10},
+        ]
+        errors = check_span_nesting(events)
+        assert len(errors) == 1
+        assert "partially overlaps" in errors[0]
+
+    def test_accepts_containment_siblings_and_other_rows(self):
+        events = [
+            {"ph": "X", "pid": 1, "tid": 1, "name": "a", "ts": 0, "dur": 10},
+            {"ph": "X", "pid": 1, "tid": 1, "name": "b", "ts": 1, "dur": 3},
+            {"ph": "X", "pid": 1, "tid": 1, "name": "c", "ts": 4, "dur": 6},
+            # Same interval as "b" but on another row: independent.
+            {"ph": "X", "pid": 1, "tid": 2, "name": "d", "ts": 2, "dur": 20},
+            {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name"},
+        ]
+        assert check_span_nesting(events) == []

@@ -76,6 +76,64 @@ class TestLatencyHistogram:
         assert a.max == pytest.approx(0.1)
         assert a.total == pytest.approx(0.107)
 
+    def test_sub_microsecond_observations_share_the_floor_bucket(self):
+        # Observations under the 1 µs floor all land in bucket 0, but
+        # min/max clamping keeps the percentile inside the observed
+        # range — never a negative or zero fabrication.
+        h = LatencyHistogram()
+        for s in (2e-7, 5e-7, 9e-7):
+            h.observe(s)
+        assert h.counts[0] == 3
+        for p in (1, 50, 99):
+            assert 2e-7 <= h.percentile(p) <= 9e-7
+        assert h.min == pytest.approx(2e-7)
+        assert h.mean == pytest.approx((2e-7 + 5e-7 + 9e-7) / 3)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        # The last bucket is open-ended, so a geometric midpoint would
+        # be a fabrication; any rank landing there must report the
+        # exact observed max.
+        h = LatencyHistogram()
+        h.observe(5_000.0)
+        h.observe(50_000.0)
+        assert h.counts[-1] == 2
+        for p in (1, 50, 100):
+            assert h.percentile(p) == pytest.approx(50_000.0)
+
+    def test_empty_histogram_percentiles_are_zero(self):
+        h = LatencyHistogram()
+        for p in (0, 1, 50, 99, 100):
+            assert h.percentile(p) == 0.0
+        # Merging two empties stays empty and well-defined.
+        other = LatencyHistogram()
+        h.merge(other)
+        assert len(h) == 0
+        assert h.percentile(50) == 0.0
+
+    def test_merge_equals_observing_the_union(self):
+        rng = random.Random(11)
+        left = [rng.expovariate(50.0) for _ in range(300)]
+        right = [rng.uniform(1e-7, 100.0) for _ in range(300)]
+        a, b, union = (
+            LatencyHistogram(),
+            LatencyHistogram(),
+            LatencyHistogram(),
+        )
+        for s in left:
+            a.observe(s)
+            union.observe(s)
+        for s in right:
+            b.observe(s)
+            union.observe(s)
+        a.merge(b)
+        assert a.counts == union.counts
+        assert a.count == union.count
+        assert a.total == pytest.approx(union.total)
+        assert a.min == union.min
+        assert a.max == union.max
+        for p in (50, 95, 99):
+            assert a.percentile(p) == pytest.approx(union.percentile(p))
+
     def test_negative_latency_rejected(self):
         with pytest.raises(ValueError):
             LatencyHistogram().observe(-0.001)
