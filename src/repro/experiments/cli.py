@@ -13,6 +13,8 @@ Usage (installed or from a checkout)::
     python -m repro serve-async --shards 4 --rates 200,1000,4000 --mmap
     python -m repro serve-async --trace out.jsonl --metrics out.prom
     python -m repro trace out.jsonl --requests 200 --rate 500
+    python -m repro profile out.collapsed --requests 400 --shards 4
+    python -m repro cache-report --cache-pages 64 --requests 2000
     python -m repro update-bench --updates 1000 --n 20000
 
 ``run all`` executes every experiment with its defaults and writes each
@@ -24,11 +26,15 @@ and drives a mixed batched workload through the query server;
 ``serve-async`` sweeps open-loop arrival rates through the asyncio
 serving layer and reports p50/p95/p99 end-to-end latency per rate;
 ``trace`` captures one live workload as a Chrome trace-event file for
-Perfetto; ``update-bench`` measures dynamic inserts/deletes on a packed
+Perfetto (and exits non-zero when the capture fails its own health
+checks — span nesting, full request coverage); ``profile`` captures a
+collapsed-stack CPU profile attributed to serving phases;
+``cache-report`` tabulates the ghost-LRU what-if analytics of the page
+cache; ``update-bench`` measures dynamic inserts/deletes on a packed
 index (dirty-page write-back) and the post-update query degradation
 versus a fresh bulk-load.  The serving subcommands share ``--trace``,
-``--metrics``, ``--sample-rate`` and ``--slow-ms``
-(docs/observability.md).
+``--metrics``, ``--sample-rate``, ``--slow-ms``, ``--profile`` and
+``--cache-analytics`` (docs/observability.md).
 """
 
 from __future__ import annotations
@@ -55,12 +61,15 @@ from repro.experiments.operators import (
 from repro.experiments.report import Table
 from repro.experiments.serving import (
     DATASETS,
+    cache_report,
     pack_index,
+    profile_capture,
     serve_async_bench,
     serve_bench,
     trace_capture,
     update_bench,
 )
+from repro.obs import check_span_nesting, load_trace_events
 from repro.experiments.tables import table1, theorem3_demo
 from repro.external.memory import MemoryModel
 
@@ -82,12 +91,16 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Table], tuple[str, ...], str]] = {
 
 
 def _add_serving_index_args(
-    parser: argparse.ArgumentParser, obs: bool = True
+    parser: argparse.ArgumentParser,
+    obs: bool = True,
+    metrics: bool = True,
+    profile: bool = False,
 ) -> None:
     """Arguments shared by the serving subcommands: which index to
     serve (or how to pack the temporary one), the page-cache budget,
-    mmap, the workload seed, and (unless ``obs=False``) the trace /
-    metrics flags."""
+    mmap, the workload seed, and the observability flags — ``obs``
+    gates ``--trace``, ``metrics`` gates the metrics/sampling trio,
+    ``profile`` adds ``--profile``/``--cache-analytics``."""
     parser.add_argument(
         "--index",
         type=pathlib.Path,
@@ -139,28 +152,50 @@ def _add_serving_index_args(
                 "file (load at ui.perfetto.dev)"
             ),
         )
-    parser.add_argument(
-        "--metrics",
-        type=pathlib.Path,
-        metavar="OUT.prom",
-        help="dump final metrics in Prometheus text format",
-    )
-    parser.add_argument(
-        "--sample-rate",
-        dest="sample_rate",
-        type=float,
-        default=1.0,
-        help="head-sampling fraction of requests to trace (default 1.0)",
-    )
-    parser.add_argument(
-        "--slow-ms",
-        dest="slow_ms",
-        type=float,
-        help=(
-            "slow-query threshold in ms: over-threshold requests are "
-            "logged and always traced, even below --sample-rate"
-        ),
-    )
+    if profile:
+        parser.add_argument(
+            "--profile",
+            type=pathlib.Path,
+            metavar="OUT.collapsed",
+            help=(
+                "sample the run with the phase-attributed wall-clock "
+                "profiler and write collapsed stacks "
+                "(flamegraph.pl/speedscope input)"
+            ),
+        )
+        parser.add_argument(
+            "--cache-analytics",
+            dest="cache_analytics",
+            action="store_true",
+            help=(
+                "attach the ghost-LRU reuse-distance tracker to every "
+                "page store: miss-ratio-vs-budget and working-set "
+                "footnotes (`repro cache-report` for the full table)"
+            ),
+        )
+    if metrics:
+        parser.add_argument(
+            "--metrics",
+            type=pathlib.Path,
+            metavar="OUT.prom",
+            help="dump final metrics in Prometheus text format",
+        )
+        parser.add_argument(
+            "--sample-rate",
+            dest="sample_rate",
+            type=float,
+            default=1.0,
+            help="head-sampling fraction of requests to trace (default 1.0)",
+        )
+        parser.add_argument(
+            "--slow-ms",
+            dest="slow_ms",
+            type=float,
+            help=(
+                "slow-query threshold in ms: over-threshold requests are "
+                "logged and always traced, even below --sample-rate"
+            ),
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -251,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=1, help="request-group threads"
     )
-    _add_serving_index_args(serve)
+    _add_serving_index_args(serve, profile=True)
 
     serve_async = sub.add_parser(
         "serve-async",
@@ -321,7 +356,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="thread-pool width = concurrently executing read batches",
     )
-    _add_serving_index_args(serve_async)
+    serve_async.add_argument(
+        "--metrics-port",
+        dest="metrics_port",
+        type=int,
+        metavar="PORT",
+        help=(
+            "serve the live registry over HTTP at /metrics for the "
+            "duration of the sweep (0 picks a free port; 127.0.0.1 only)"
+        ),
+    )
+    _add_serving_index_args(serve_async, profile=True)
 
     trace = sub.add_parser(
         "trace",
@@ -353,6 +398,61 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_serving_index_args(trace, obs=False)
+
+    profile = sub.add_parser(
+        "profile",
+        help=(
+            "capture a collapsed-stack CPU profile (flamegraph.pl/"
+            "speedscope input) from a live async workload"
+        ),
+    )
+    profile.add_argument(
+        "out",
+        type=pathlib.Path,
+        help="collapsed-stack file to write (.collapsed)",
+    )
+    profile.add_argument(
+        "--requests", type=int, default=400, help="requests to profile"
+    )
+    profile.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="open-loop arrival rate (requests/second)",
+    )
+    profile.add_argument(
+        "--write-frac",
+        dest="write_frac",
+        type=float,
+        default=None,
+        help=(
+            "fraction of the stream that is inserts/deletes (default "
+            "0.1 for a temporary index, 0 when --index is given)"
+        ),
+    )
+    _add_serving_index_args(profile, metrics=False)
+
+    cache = sub.add_parser(
+        "cache-report",
+        help=(
+            "ghost-LRU page-cache analytics: miss-ratio-vs-budget "
+            "curve, access-frequency histogram, working-set sizes"
+        ),
+    )
+    cache.add_argument(
+        "--requests", type=int, default=2000, help="total requests"
+    )
+    cache.add_argument(
+        "--batch-size",
+        dest="batch_size",
+        type=int,
+        default=250,
+        help="requests per batch",
+    )
+    cache.add_argument(
+        "--workers", type=int, default=1, help="request-group threads"
+    )
+    _add_serving_index_args(cache, obs=False, metrics=False)
 
     update = sub.add_parser(
         "update-bench",
@@ -429,6 +529,45 @@ def _emit(table: Table, name: str, args: argparse.Namespace) -> None:
         print()
 
 
+def _check_trace_health(
+    out: pathlib.Path, requests: int, sample_rate: float
+) -> int:
+    """Validate a just-captured trace; the ``repro trace`` exit code.
+
+    Two machine-checkable invariants guard the capture: every (pid,
+    tid) row's duration events must nest properly
+    (:func:`~repro.obs.check_span_nesting` — partial overlap means
+    broken timestamps), and at full head sampling every offered request
+    must appear as a ``cat="request"`` summary event (fewer means
+    requests were dropped from the trace — or rejected by admission
+    control, which the default rate/bounds never hit).  A failing
+    capture still leaves the file on disk for inspection; the non-zero
+    exit makes ``repro trace`` usable as a CI smoke check.
+    """
+    events = load_trace_events(out)
+    errors = check_span_nesting(events)
+    for error in errors[:10]:
+        print(f"trace check: {error}", file=sys.stderr)
+    if errors:
+        print(
+            f"trace check: {len(errors)} span-nesting violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if sample_rate >= 1.0:
+        traced = sum(
+            1 for event in events if event.get("cat") == "request"
+        )
+        if traced < requests:
+            print(
+                f"trace check: only {traced} of {requests} requests "
+                "covered at sample-rate 1.0",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -471,6 +610,8 @@ def main(argv: list[str] | None = None) -> int:
             metrics=args.metrics,
             sample_rate=args.sample_rate,
             slow_ms=args.slow_ms,
+            profile=args.profile,
+            cache_analytics=args.cache_analytics,
         )
         print(table.render())
         return 0
@@ -520,6 +661,9 @@ def main(argv: list[str] | None = None) -> int:
             metrics=args.metrics,
             sample_rate=args.sample_rate,
             slow_ms=args.slow_ms,
+            profile=args.profile,
+            cache_analytics=args.cache_analytics,
+            metrics_port=args.metrics_port,
         )
         print(table.render())
         return 0
@@ -548,6 +692,50 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(table.render())
         print(f"wrote {args.out}")
+        return _check_trace_health(
+            args.out, args.requests, args.sample_rate
+        )
+
+    if args.command == "profile":
+        write_frac = args.write_frac
+        if write_frac is None:
+            write_frac = 0.1 if args.index is None else 0.0
+        table = profile_capture(
+            args.out,
+            index=args.index,
+            requests=args.requests,
+            rate=args.rate,
+            write_frac=write_frac,
+            trace=args.trace,
+            cache_pages=args.cache_pages,
+            variant=args.variant,
+            dataset=args.dataset,
+            n=args.n,
+            block_size=args.block_size,
+            seed=args.seed,
+            shards=args.shards,
+            mmap=args.mmap,
+        )
+        print(table.render())
+        print(f"wrote {args.out}")
+        return 0
+
+    if args.command == "cache-report":
+        table = cache_report(
+            index=args.index,
+            requests=args.requests,
+            batch_size=args.batch_size,
+            cache_pages=args.cache_pages,
+            workers=args.workers,
+            variant=args.variant,
+            dataset=args.dataset,
+            n=args.n,
+            block_size=args.block_size,
+            seed=args.seed,
+            shards=args.shards,
+            mmap=args.mmap,
+        )
+        print(table.render())
         return 0
 
     if args.command == "update-bench":

@@ -44,7 +44,14 @@ from repro.experiments.harness import build_variant
 from repro.experiments.report import Table
 from repro.geometry.rect import Rect
 from repro.iomodel.codec import fanout_for_block
-from repro.obs import MetricsRegistry, SlowQueryLog, TraceWriter, Tracer
+from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
+    SamplingProfiler,
+    SlowQueryLog,
+    TraceWriter,
+    Tracer,
+)
 from repro.rtree.query import QueryEngine
 from repro.rtree.validate import validate_rtree
 from repro.server import (
@@ -68,6 +75,8 @@ __all__ = [
     "serve_bench",
     "serve_async_bench",
     "trace_capture",
+    "profile_capture",
+    "cache_report",
     "update_bench",
     "mixed_requests",
     "mixed_service_stream",
@@ -91,6 +100,104 @@ def _make_tracer(
         slow_threshold_s=slow_ms / 1000.0 if slow_ms is not None else None,
     )
     return writer, tracer
+
+
+def _profile_notes(
+    table: Table, profiler: SamplingProfiler, out: str | pathlib.Path
+) -> None:
+    """Write the collapsed stacks and digest the per-phase self time.
+
+    The phase rows (``(other)`` included) sum to 100% of the sampled
+    wall time by construction, so the notes are a complete account of
+    where the profiled window's CPU/wall time went.
+    """
+    profiler.write_collapsed(out)
+    table.add_note(
+        f"profile: {out} (collapsed stacks, {profiler.total_samples} "
+        f"samples over {profiler.elapsed_s:.1f}s at "
+        f"{profiler.interval_s * 1000:g}ms — flamegraph.pl/speedscope)"
+    )
+    for row in profiler.phase_table():
+        table.add_note(
+            f"phase {row.phase}: {row.fraction:.1%} self "
+            f"({row.samples} samples, ~{row.seconds:.2f}s)"
+        )
+
+
+def _index_page_stores(tree) -> list[tuple[str, object]]:
+    """``(label, PagedNodeStore)`` per page layer behind one index."""
+    if isinstance(tree, ShardedTree):
+        return [
+            (f"shard{i}", shard.page_store)
+            for i, shard in enumerate(tree.shards)
+        ]
+    store = getattr(tree, "page_store", None)
+    return [("index", store)] if store is not None else []
+
+
+def _aggregate_cache(tree):
+    """Family-wide cache view: summed stats plus merged tracker curve.
+
+    Returns ``(stats_hits, stats_misses, curve, trackers)`` where
+    ``curve`` is a list of ``(budget, hits, accesses)`` summed across
+    every tracker sharing the first tracker's budget set (each shard
+    has its own ``cache_pages``-page cache, so per-shard budgets add).
+    ``curve`` is None when no store carries a tracker.
+    """
+    stores = _index_page_stores(tree)
+    hits = sum(store.stats.hits for _, store in stores)
+    misses = sum(store.stats.misses for _, store in stores)
+    trackers = [
+        store.tracker for _, store in stores if store.tracker is not None
+    ]
+    if not trackers:
+        return hits, misses, None, []
+    budgets = trackers[0].budgets
+    trackers = [t for t in trackers if t.budgets == budgets]
+    curve = []
+    accesses = sum(t.accesses for t in trackers)
+    for j, budget in enumerate(budgets):
+        budget_hits = sum(t.miss_ratio_curve()[j].hits for t in trackers)
+        curve.append((budget, budget_hits, accesses))
+    return hits, misses, curve, trackers
+
+
+def _cache_notes(table: Table, tree, cache_pages: int) -> None:
+    """Footnote digest of the ghost-cache analytics for one index."""
+    hits, misses, curve, trackers = _aggregate_cache(tree)
+    lookups = hits + misses
+    if curve is None or not lookups:
+        return
+    actual = hits / lookups
+    predicted = next(
+        (h / a for b, h, a in curve if b == cache_pages and a), None
+    )
+    note = (
+        f"page cache: {hits}/{lookups} lookups hit "
+        f"({actual:.1%} measured at the {cache_pages}-page budget"
+    )
+    if predicted is not None:
+        note += f"; ghost-LRU predicts {predicted:.1%} at that budget"
+    table.add_note(note + ")")
+    table.add_note(
+        "miss-ratio curve (budget: predicted hit ratio): "
+        + ", ".join(
+            f"{b}: {h / a:.1%}" if a else f"{b}: n/a" for b, h, a in curve
+        )
+    )
+    wss: dict[int, int] = {}
+    unique = cold = 0
+    for tracker in trackers:
+        for window, size in tracker.working_set_sizes().items():
+            wss[window] = wss.get(window, 0) + size
+        unique += tracker.unique_blocks
+        cold += tracker.cold_misses
+    table.add_note(
+        f"working set: {unique} distinct blocks ever ({cold} cold "
+        "misses); trailing-window sizes "
+        + ", ".join(f"{w}: {s}" for w, s in sorted(wss.items()))
+    )
+
 
 #: Dataset generators accepted by ``repro pack`` / ``repro serve-bench``.
 DATASETS = {
@@ -242,6 +349,8 @@ def serve_bench(
     metrics: str | pathlib.Path | None = None,
     sample_rate: float = 1.0,
     slow_ms: float | None = None,
+    profile: str | pathlib.Path | None = None,
+    cache_analytics: bool = False,
 ) -> Table:
     """Drive a mixed batched workload through a paged index file.
 
@@ -263,6 +372,13 @@ def serve_bench(
     head-samples it and ``slow_ms`` always keeps over-threshold
     requests.  ``metrics=OUT.prom`` dumps the run's per-kind latency
     histograms and I/O totals in Prometheus text format at the end.
+
+    ``profile=OUT.collapsed`` runs the phase-attributed sampling
+    profiler over the batch loop and writes collapsed stacks (the
+    per-phase self-time digest lands in the footnotes);
+    ``cache_analytics=True`` attaches the ghost-LRU reuse-distance
+    tracker to every page store and footnotes the miss-ratio curve
+    (``repro cache-report`` gives the full table).
     """
     tmpdir: tempfile.TemporaryDirectory | None = None
     writer, tracer = _make_tracer(trace, sample_rate, slow_ms)
@@ -286,7 +402,11 @@ def serve_bench(
         # serving an index the process cannot write (e.g. a read-only
         # mount) and guarantees the benchmark leaves the files untouched.
         with open_index(
-            index, cache_pages=cache_pages, readonly=True, mmap=mmap
+            index,
+            cache_pages=cache_pages,
+            readonly=True,
+            mmap=mmap,
+            cache_analytics=cache_analytics,
         ) as tree:
             server = QueryServer(tree, workers=workers)
             bounds = tree.root().mbr()
@@ -308,41 +428,51 @@ def serve_bench(
             )
             run_stats = ServiceStats()
             totals = {"leaf": 0, "phys": 0, "lat": 0.0, "reqs": 0}
-            for b in range(0, len(stream), batch_size):
-                batch = stream[b : b + batch_size]
-                batch_traces = None
-                if tracer is not None:
-                    batch_traces = [
-                        tracer.begin(req.kind, req.kind) for req in batch
-                    ]
-                report = server.submit(batch, traces=batch_traces)
-                if batch_traces is not None:
-                    for pending_trace in batch_traces:
-                        tracer.finish(pending_trace)
-                kind_latencies = report.kind_latencies()
-                batch_hist = LatencyHistogram()
-                for latencies in kind_latencies.values():
-                    for latency in latencies:
-                        batch_hist.observe(latency)
-                run_stats.observe_kind_latencies(kind_latencies)
-                table.add_row(
-                    b // batch_size,
-                    report.requests,
-                    report.executed,
-                    report.dedup_hits,
-                    report.leaf_ios,
-                    report.internal_reads,
-                    report.physical_reads,
-                    report.latency_s * 1000.0,
-                    batch_hist.percentile(50) * 1000.0,
-                    batch_hist.percentile(95) * 1000.0,
-                    batch_hist.percentile(99) * 1000.0,
-                    report.throughput_rps,
-                )
-                totals["leaf"] += report.leaf_ios
-                totals["phys"] += report.physical_reads
-                totals["lat"] += report.latency_s
-                totals["reqs"] += report.requests
+            profiler = (
+                SamplingProfiler() if profile is not None else None
+            )
+            if profiler is not None:
+                profiler.start()
+            try:
+                for b in range(0, len(stream), batch_size):
+                    batch = stream[b : b + batch_size]
+                    batch_traces = None
+                    if tracer is not None:
+                        batch_traces = [
+                            tracer.begin(req.kind, req.kind) for req in batch
+                        ]
+                    report = server.submit(batch, traces=batch_traces)
+                    if batch_traces is not None:
+                        for pending_trace in batch_traces:
+                            tracer.finish(pending_trace)
+                    kind_latencies = report.kind_latencies()
+                    batch_hist = LatencyHistogram()
+                    for latencies in kind_latencies.values():
+                        for latency in latencies:
+                            batch_hist.observe(latency)
+                    run_stats.observe_kind_latencies(kind_latencies)
+                    run_stats.observe_cache(report.io)
+                    table.add_row(
+                        b // batch_size,
+                        report.requests,
+                        report.executed,
+                        report.dedup_hits,
+                        report.leaf_ios,
+                        report.internal_reads,
+                        report.physical_reads,
+                        report.latency_s * 1000.0,
+                        batch_hist.percentile(50) * 1000.0,
+                        batch_hist.percentile(95) * 1000.0,
+                        batch_hist.percentile(99) * 1000.0,
+                        report.throughput_rps,
+                    )
+                    totals["leaf"] += report.leaf_ios
+                    totals["phys"] += report.physical_reads
+                    totals["lat"] += report.latency_s
+                    totals["reqs"] += report.requests
+            finally:
+                if profiler is not None:
+                    profiler.stop()
             table.add_note(
                 f"index: {index} (size={tree.size}, height={tree.height}, "
                 f"fanout={tree.fanout})"
@@ -372,6 +502,10 @@ def serve_bench(
                         for i, load in enumerate(loads)
                     )
                 )
+            if profiler is not None:
+                _profile_notes(table, profiler, profile)
+            if cache_analytics:
+                _cache_notes(table, tree, cache_pages)
             if tracer is not None:
                 table.add_note(
                     f"trace: {trace} ({tracer.emitted} of {tracer.started} "
@@ -488,6 +622,9 @@ def serve_async_bench(
     metrics: str | pathlib.Path | None = None,
     sample_rate: float = 1.0,
     slow_ms: float | None = None,
+    profile: str | pathlib.Path | None = None,
+    cache_analytics: bool = False,
+    metrics_port: int | None = None,
 ) -> Table:
     """Open-loop latency-vs-arrival-rate sweep through the async service.
 
@@ -510,10 +647,27 @@ def serve_async_bench(
     slow-query log (worst offenders become table notes) and forces
     over-threshold requests into the trace even when ``sample_rate``
     would drop them.
+
+    ``metrics_port`` (0 picks a free port) serves the live registry
+    over HTTP at ``/metrics`` for the duration of the sweep — scrape it
+    mid-run with Prometheus or ``curl``.  ``profile=OUT.collapsed``
+    runs the phase-attributed sampling profiler across every rate and
+    writes collapsed stacks; ``cache_analytics=True`` attaches the
+    ghost-LRU tracker to each page store (curves in the footnotes and,
+    with metrics on, the ``repro_cache_*`` families).
     """
     tmpdir: tempfile.TemporaryDirectory | None = None
     writer, tracer = _make_tracer(trace, sample_rate, slow_ms)
-    registry = MetricsRegistry() if metrics is not None else None
+    registry = (
+        MetricsRegistry()
+        if metrics is not None or metrics_port is not None
+        else None
+    )
+    metrics_server = (
+        MetricsServer(registry, port=metrics_port).start()
+        if metrics_port is not None
+        else None
+    )
     slow_log = (
         SlowQueryLog(slow_ms / 1000.0) if slow_ms is not None else None
     )
@@ -539,6 +693,7 @@ def serve_async_bench(
             cache_pages=cache_pages,
             readonly=not writable,
             mmap=mmap,
+            cache_analytics=cache_analytics,
         ) as tree:
             sharded = isinstance(tree, ShardedTree)
             bounds = tree.root().mbr()
@@ -583,26 +738,35 @@ def serve_async_bench(
                     )
                 return report, service.stats
 
-            for i, rate in enumerate(rates):
-                report, stats = asyncio.run(run_rate(rate, seed + i + 1))
-                overall = stats.overall
-                table.add_row(
-                    rate,
-                    report.offered,
-                    report.completed,
-                    report.rejected,
-                    report.achieved_rps,
-                    overall.percentile(50) * 1000.0,
-                    overall.percentile(95) * 1000.0,
-                    overall.percentile(99) * 1000.0,
-                    stats.max_queue_depth,
-                    stats.batches,
-                )
-                if report.errors:
-                    table.add_note(
-                        f"rate {rate:g}: {report.errors} errors — "
-                        + "; ".join(report.error_samples)
+            profiler = (
+                SamplingProfiler() if profile is not None else None
+            )
+            if profiler is not None:
+                profiler.start()
+            try:
+                for i, rate in enumerate(rates):
+                    report, stats = asyncio.run(run_rate(rate, seed + i + 1))
+                    overall = stats.overall
+                    table.add_row(
+                        rate,
+                        report.offered,
+                        report.completed,
+                        report.rejected,
+                        report.achieved_rps,
+                        overall.percentile(50) * 1000.0,
+                        overall.percentile(95) * 1000.0,
+                        overall.percentile(99) * 1000.0,
+                        stats.max_queue_depth,
+                        stats.batches,
                     )
+                    if report.errors:
+                        table.add_note(
+                            f"rate {rate:g}: {report.errors} errors — "
+                            + "; ".join(report.error_samples)
+                        )
+            finally:
+                if profiler is not None:
+                    profiler.stop()
             table.add_note(
                 f"index: {index} (size={tree.size}, height={tree.height}, "
                 f"fanout={tree.fanout})"
@@ -617,6 +781,10 @@ def serve_async_bench(
                     "writes mutate the served index; each rate inserts "
                     "namespaced fresh rectangles and deletes only its own"
                 )
+            if profiler is not None:
+                _profile_notes(table, profiler, profile)
+            if cache_analytics:
+                _cache_notes(table, tree, cache_pages)
             if tracer is not None:
                 table.add_note(
                     f"trace: {trace} ({tracer.emitted} of {tracer.started} "
@@ -630,11 +798,18 @@ def serve_async_bench(
                     f"{worst.latency_s * 1000:.2f}ms "
                     f"(queue {worst.queue_s * 1000:.2f}ms)"
                 )
-            if registry is not None:
+            if metrics_server is not None:
+                table.add_note(
+                    f"metrics served live at {metrics_server.url} "
+                    "during the sweep"
+                )
+            if registry is not None and metrics is not None:
                 registry.dump(metrics)
                 table.add_note(f"metrics: {metrics} (Prometheus text)")
             return table
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         if writer is not None:
             writer.close()
         if tmpdir is not None:
@@ -694,6 +869,190 @@ def trace_capture(
         sample_rate=sample_rate,
         slow_ms=slow_ms,
     )
+
+
+def profile_capture(
+    out: str | pathlib.Path,
+    index: str | pathlib.Path | None = None,
+    requests: int = 400,
+    rate: float = 500.0,
+    write_frac: float = 0.1,
+    trace: str | pathlib.Path | None = None,
+    max_batch: int = 64,
+    flush_ms: float = 2.0,
+    executor_workers: int = 4,
+    cache_pages: int = 256,
+    variant: str = "PR",
+    dataset: str = "tiger-east",
+    n: int = 20_000,
+    fanout: int | None = None,
+    block_size: int = 4096,
+    seed: int = 0,
+    shards: int = 1,
+    mmap: bool = False,
+) -> Table:
+    """Capture a collapsed-stack CPU profile from one live async workload.
+
+    The ``repro profile`` subcommand: runs a single open-loop rate
+    through the asyncio service with the phase-attributed sampling
+    profiler on and writes the collapsed stacks to ``out`` — feed it to
+    ``flamegraph.pl`` or paste into https://speedscope.app.  The table
+    footnotes carry the per-phase self-time digest (they sum to 100% of
+    the sampled wall time); pass ``trace=`` to additionally capture the
+    matching span trace, so flamegraph phases line up with trace spans.
+    Everything else is :func:`serve_async_bench` with one rate.
+    """
+    return serve_async_bench(
+        index=index,
+        rates=(rate,),
+        requests=requests,
+        write_frac=write_frac,
+        max_batch=max_batch,
+        flush_ms=flush_ms,
+        executor_workers=executor_workers,
+        cache_pages=cache_pages,
+        variant=variant,
+        dataset=dataset,
+        n=n,
+        fanout=fanout,
+        block_size=block_size,
+        seed=seed,
+        shards=shards,
+        mmap=mmap,
+        trace=trace,
+        profile=out,
+    )
+
+
+def cache_report(
+    index: str | pathlib.Path | None = None,
+    requests: int = 2000,
+    batch_size: int = 250,
+    cache_pages: int = 256,
+    workers: int = 1,
+    variant: str = "PR",
+    dataset: str = "tiger-east",
+    n: int = 20_000,
+    fanout: int | None = None,
+    block_size: int = 4096,
+    seed: int = 0,
+    shards: int = 1,
+    mmap: bool = False,
+) -> Table:
+    """What-if page-cache analytics for one index under a mixed workload.
+
+    The ``repro cache-report`` subcommand: opens the index with the
+    ghost-LRU :class:`~repro.obs.ReuseDistanceTracker` attached to every
+    page store, drives the standard mixed batched workload through it,
+    and tabulates the Mattson miss-ratio curve — predicted hits, misses
+    and hit ratio at a ladder of alternative page budgets (the
+    configured budget's row is marked ``*``).  Because the tracker
+    observes the very same page-table lookups
+    :class:`~repro.storage.paged.PageCacheStats` counts, the predicted
+    ratio at the configured budget equals the measured hit ratio (the
+    footnote states both); the other rows answer "what if the cache
+    were K pages" without re-running anything.  Frequency-histogram and
+    working-set footnotes size the hot set (``docs/observability.md``).
+
+    For a sharded family the per-shard trackers are summed at equal
+    budgets — each shard owns a ``cache_pages``-page cache, so budgets
+    add across shards.
+    """
+    tmpdir: tempfile.TemporaryDirectory | None = None
+    if index is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-cache-")
+        index = pathlib.Path(tmpdir.name) / (
+            "index.manifest" if shards > 1 else "index.pack"
+        )
+        pack_index(
+            index,
+            variant=variant,
+            dataset=dataset,
+            n=n,
+            fanout=fanout,
+            block_size=block_size,
+            seed=seed,
+            shards=shards,
+        )
+    try:
+        with open_index(
+            index,
+            cache_pages=cache_pages,
+            readonly=True,
+            mmap=mmap,
+            cache_analytics=True,
+        ) as tree:
+            server = QueryServer(tree, workers=workers)
+            bounds = tree.root().mbr()
+            stream = mixed_requests(bounds, count=requests, seed=seed + 1)
+            for b in range(0, len(stream), batch_size):
+                server.submit(stream[b : b + batch_size])
+
+            hits, misses, curve, trackers = _aggregate_cache(tree)
+            lookups = hits + misses
+            measured = hits / lookups if lookups else 0.0
+            sharded = isinstance(tree, ShardedTree)
+            table = Table(
+                title=(
+                    f"cache-report: {requests} mixed requests against a "
+                    f"{cache_pages}-page budget"
+                    + (f", {tree.n_shards} shards" if sharded else "")
+                ),
+                headers=[
+                    "budget_pages", "predicted_hits", "predicted_misses",
+                    "predicted_hit_ratio",
+                ],
+            )
+            for budget, budget_hits, accesses in curve or ():
+                table.add_row(
+                    f"{budget}*" if budget == cache_pages else str(budget),
+                    budget_hits,
+                    accesses - budget_hits,
+                    budget_hits / accesses if accesses else 0.0,
+                )
+            table.add_note(
+                f"index: {index} (size={tree.size}, height={tree.height}, "
+                f"fanout={tree.fanout})"
+            )
+            table.add_note(
+                f"measured: {hits}/{lookups} page-table lookups hit "
+                f"({measured:.2%}) at the configured {cache_pages}-page "
+                "budget — compare the * row (same access stream, so they "
+                "agree; the other rows are the what-if)"
+            )
+            bands: dict[tuple[int, int], list[int]] = {}
+            wss: dict[int, int] = {}
+            unique = cold = 0
+            for tracker in trackers:
+                for band in tracker.frequency_histogram():
+                    entry = bands.setdefault((band.lo, band.hi), [0, 0])
+                    entry[0] += band.leaf_blocks
+                    entry[1] += band.internal_blocks
+                for window, size in tracker.working_set_sizes().items():
+                    wss[window] = wss.get(window, 0) + size
+                unique += tracker.unique_blocks
+                cold += tracker.cold_misses
+            if bands:
+                table.add_note(
+                    "access frequency (times-touched: leaf/internal "
+                    "blocks): "
+                    + ", ".join(
+                        (f"{lo}" if lo == hi else f"{lo}-{hi}")
+                        + f": {leaf}/{internal}"
+                        for (lo, hi), (leaf, internal) in sorted(
+                            bands.items()
+                        )
+                    )
+                )
+            table.add_note(
+                f"working set: {unique} distinct blocks ever ({cold} cold "
+                "misses); trailing-window sizes "
+                + ", ".join(f"{w}: {s}" for w, s in sorted(wss.items()))
+            )
+            return table
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
 
 
 def mixed_update_requests(

@@ -13,12 +13,37 @@ The diagnostic substrate of the serving stack (``docs/observability.md``):
 * :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of labeled
   counters/gauges/histograms with Prometheus-text exposition.
 * :mod:`repro.obs.slowlog` — bounded :class:`SlowQueryLog` ring.
+* :mod:`repro.obs.profiler` — wall-clock :class:`SamplingProfiler`
+  attributing stack samples to the serving :func:`phase` (collapsed
+  stacks + per-phase self time).
+* :mod:`repro.obs.cachestats` — ghost-LRU
+  :class:`ReuseDistanceTracker`: miss-ratio-vs-budget curves,
+  leaf/internal access-frequency histograms, working-set estimates.
 
 Everything is opt-in: with no tracer/tap/registry installed, the hooks
 cost one ``ContextVar.get`` (or one ``None`` check) per event.
 """
 
-from repro.obs.metrics import Counter, Gauge, HistogramMetric, MetricsRegistry
+from repro.obs.cachestats import (
+    CacheCurvePoint,
+    FrequencyBand,
+    ReuseDistanceTracker,
+    default_budgets,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+    MetricsServer,
+)
+from repro.obs.profiler import (
+    PhaseSelfTime,
+    SamplingProfiler,
+    current_phase,
+    phase,
+    profiling_active,
+)
 from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
 from repro.obs.tap import IOTap, active_tap, install_tap, scoped_tap
 from repro.obs.trace import (
@@ -33,10 +58,20 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CacheCurvePoint",
+    "FrequencyBand",
+    "ReuseDistanceTracker",
+    "default_budgets",
+    "PhaseSelfTime",
+    "SamplingProfiler",
+    "current_phase",
+    "phase",
+    "profiling_active",
     "Counter",
     "Gauge",
     "HistogramMetric",
     "MetricsRegistry",
+    "MetricsServer",
     "SlowQueryLog",
     "SlowQueryRecord",
     "IOTap",

@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.geometry.hilbert import hilbert_key_for_center
+from repro.obs.profiler import phase as profile_phase
 from repro.obs.tap import scoped_tap
 from repro.obs.trace import Trace, activate_trace
 from repro.geometry.rect import Rect, point_rect
@@ -142,6 +143,19 @@ class BatchReport:
     def throughput_rps(self) -> float:
         """Requests answered per second of batch wall-clock."""
         return self.requests / self.latency_s if self.latency_s > 0 else 0.0
+
+    @property
+    def cache_hit_ratio(self) -> float | None:
+        """Page-cache hit ratio of this batch's counted reads.
+
+        Computed from the batch-attributed :attr:`io` tap (hits vs
+        hits+misses), so overlapping batches each report their own
+        ratio.  ``None`` when the batch performed no counted page reads
+        (e.g. pure simulated-store traffic).
+        """
+        hits = self.io.get("hits", 0)
+        lookups = hits + self.io.get("misses", 0)
+        return hits / lookups if lookups else None
 
     @property
     def avg_latency_ms(self) -> float:
@@ -379,7 +393,8 @@ class QueryServer:
         :class:`~repro.server.requests.UpdateStats`.
         """
         tree = self._tree(request.index)
-        with activate_trace(trace), scoped_tap(trace) as tap:
+        with activate_trace(trace), scoped_tap(trace) as tap, \
+                profile_phase(f"write:{request.kind}"):
             start = time.perf_counter()
             if isinstance(request, InsertRequest):
                 value: Any = tree.insert(request.rect, request.value)
@@ -423,16 +438,18 @@ class QueryServer:
     ) -> RequestResult:
         engine = self._engine(_group_key(request))
         if trace is None:
-            start = time.perf_counter()
-            value, stats = self._dispatch(engine, request)
-            latency = time.perf_counter() - start
+            with profile_phase(f"engine:{request.kind}"):
+                start = time.perf_counter()
+                value, stats = self._dispatch(engine, request)
+                latency = time.perf_counter() - start
             return RequestResult(
                 request=request, value=value, stats=stats, latency_s=latency
             )
         # Traced: activate the trace in this (possibly executor) thread
         # and attribute the engine's I/O to both the trace's ledger and
         # the enclosing batch tap via the scoped tap's fold-on-exit.
-        with activate_trace(trace), scoped_tap(trace) as tap:
+        with activate_trace(trace), scoped_tap(trace) as tap, \
+                profile_phase(f"engine:{request.kind}"):
             start = time.perf_counter()
             value, stats = self._dispatch(engine, request)
             end = time.perf_counter()
@@ -496,8 +513,11 @@ class QueryServer:
         # Everything the batch does — writes, sync, reads on any number
         # of worker threads — attributes to this tap, so the report's
         # physical/logical numbers are exactly this batch's traffic even
-        # with other batches in flight on the same handles.
-        with scoped_tap() as batch_tap:
+        # with other batches in flight on the same handles.  The
+        # profiler phase mirrors the async service's "execute" span
+        # (inner engine:*/write:*/shard:* phases refine it; pool worker
+        # threads re-enter their own phases in _execute_one).
+        with scoped_tap() as batch_tap, profile_phase("execute"):
             # Phase 1: writes, strictly in submission order, never
             # deduped.
             write_results: dict[int, RequestResult] = {}

@@ -75,6 +75,22 @@ __all__ = [
 _WRITE_KINDS = (InsertRequest, DeleteRequest)
 
 
+def _page_stores(tree: Any):
+    """Yield ``(shard_label, PagedNodeStore)`` for an index's page layers.
+
+    A sharded family contributes one store per shard (labelled by shard
+    number), a single paged tree contributes one (labelled ``"-"``);
+    simulated in-memory trees have no page layer and yield nothing.
+    """
+    if isinstance(tree, ShardedTree):
+        for i, shard in enumerate(tree.shards):
+            yield str(i), shard.page_store
+    else:
+        store = getattr(tree, "page_store", None)
+        if store is not None:
+            yield "-", store
+
+
 class AdmissionError(RuntimeError):
     """The request was refused: its lane is at the admission bound.
 
@@ -294,6 +310,12 @@ class AsyncQueryService:
         self._space = asyncio.Condition()
         self._dispatcher: asyncio.Task | None = None
         self._metrics_task: asyncio.Task | None = None
+        #: What this service has already added to each shared registry
+        #: counter — service-lifetime totals are exported as *deltas*,
+        #: so several services (e.g. one per rate in a sweep) can share
+        #: one registry and the counters accumulate across all of them
+        #: instead of regressing when a fresh service starts from zero.
+        self._exported_totals: dict[tuple[str, ...], float] = {}
         self._closing = False
         self._closed = False
 
@@ -568,6 +590,7 @@ class AsyncQueryService:
 
         done = time.perf_counter()
         self.stats.batches += 1
+        self.stats.observe_cache(report.io)
         for pending, result in zip(batch, report.results):
             latency = done - pending.enqueued_at
             if pending.trace is not None:
@@ -658,22 +681,47 @@ class AsyncQueryService:
         if registry is None:
             return
         stats = self.stats
-        registry.counter(
-            "repro_requests_submitted_total", "Requests admitted to a lane"
-        ).labels().set_total(stats.submitted)
-        registry.counter(
-            "repro_requests_completed_total", "Requests answered"
-        ).labels().set_total(stats.completed)
+
+        def export(counter, key: tuple[str, ...], total: float) -> None:
+            # Delta export: the registry counter may be shared with
+            # other (earlier or concurrent) services, so this service
+            # only ever adds what it has not yet contributed.
+            previous = self._exported_totals.get(key, 0.0)
+            if total > previous:
+                counter.inc(total - previous)
+                self._exported_totals[key] = total
+
+        export(
+            registry.counter(
+                "repro_requests_submitted_total",
+                "Requests admitted to a lane",
+            ).labels(),
+            ("submitted",),
+            stats.submitted,
+        )
+        export(
+            registry.counter(
+                "repro_requests_completed_total", "Requests answered"
+            ).labels(),
+            ("completed",),
+            stats.completed,
+        )
         rejected = registry.counter(
             "repro_requests_rejected_total",
             "Requests refused by admission control",
             ("lane",),
         )
-        rejected.labels("read").set_total(stats.rejected_reads)
-        rejected.labels("write").set_total(stats.rejected_writes)
-        registry.counter(
-            "repro_batches_total", "Batches handed to the executor"
-        ).labels().set_total(stats.batches)
+        export(rejected.labels("read"), ("rejected", "read"), stats.rejected_reads)
+        export(
+            rejected.labels("write"), ("rejected", "write"), stats.rejected_writes
+        )
+        export(
+            registry.counter(
+                "repro_batches_total", "Batches handed to the executor"
+            ).labels(),
+            ("batches",),
+            stats.batches,
+        )
         depth = registry.gauge(
             "repro_queue_depth", "Requests queued per lane", ("lane",)
         )
@@ -716,6 +764,66 @@ class AsyncQueryService:
                 for i, load in enumerate(tree.shard_loads()):
                     shard_busy.labels(name, str(i)).set(load.busy_s)
                     shard_reads.labels(name, str(i)).set_total(load.reads)
+        self._snapshot_cache_metrics(registry)
+
+    def _snapshot_cache_metrics(self, registry: MetricsRegistry) -> None:
+        """Export the ``repro_cache_*`` families per index page store.
+
+        The event counters always export (every paged index maintains
+        :class:`~repro.storage.paged.PageCacheStats`); the what-if
+        families (predicted hit ratios per budget, working-set sizes)
+        only appear when the store carries a
+        :class:`~repro.obs.cachestats.ReuseDistanceTracker`
+        (``cache_analytics=True`` at open time).
+        """
+        events = registry.counter(
+            "repro_cache_events_total",
+            "Page-cache events per index/shard "
+            "(hit, miss, eviction, flush)",
+            ("index", "shard", "event"),
+        )
+        ratio = registry.gauge(
+            "repro_cache_hit_ratio",
+            "Measured page-cache hit ratio per index/shard",
+            ("index", "shard"),
+        )
+        predicted = registry.gauge(
+            "repro_cache_predicted_hit_ratio",
+            "Ghost-LRU predicted hit ratio at alternative page budgets",
+            ("index", "shard", "budget"),
+        )
+        wss = registry.gauge(
+            "repro_cache_working_set_blocks",
+            "Distinct blocks touched in the trailing access window",
+            ("index", "shard", "window"),
+        )
+        unique = registry.gauge(
+            "repro_cache_unique_blocks",
+            "Distinct blocks ever touched (tracker view)",
+            ("index", "shard"),
+        )
+        for name, tree in self._writer.indexes.items():
+            for shard, store in _page_stores(tree):
+                stats = store.stats
+                events.labels(name, shard, "hit").set_total(stats.hits)
+                events.labels(name, shard, "miss").set_total(stats.misses)
+                events.labels(name, shard, "eviction").set_total(
+                    stats.evictions
+                )
+                events.labels(name, shard, "flush").set_total(stats.flushes)
+                lookups = stats.hits + stats.misses
+                if lookups:
+                    ratio.labels(name, shard).set(stats.hits / lookups)
+                tracker = store.tracker
+                if tracker is None:
+                    continue
+                for point in tracker.miss_ratio_curve():
+                    predicted.labels(name, shard, str(point.budget)).set(
+                        point.hit_ratio
+                    )
+                for window, size in tracker.working_set_sizes().items():
+                    wss.labels(name, shard, str(window)).set(size)
+                unique.labels(name, shard).set(tracker.unique_blocks)
 
     def __repr__(self) -> str:
         return (

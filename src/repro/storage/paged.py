@@ -56,6 +56,7 @@ from repro.iomodel.blockstore import DEFAULT_BLOCK_SIZE
 from repro.iomodel.codec import NodeCodec
 from repro.iomodel.counters import IOCounters
 from repro.iomodel.store import BlockId
+from repro.obs.cachestats import ReuseDistanceTracker
 from repro.obs.tap import IOTap, active_tap
 from repro.rtree.node import Node
 from repro.rtree.persist import PersistError
@@ -145,6 +146,15 @@ class PagedNodeStore:
     capacity:
         Maximum decoded pages held in memory; 0 disables caching so
         every access decodes from the file (the fully-cold setup).
+    tracker:
+        Optional :class:`~repro.obs.cachestats.ReuseDistanceTracker`
+        observing every page-table lookup — counted reads *and* peeks,
+        each tagged with the real hit/miss outcome, so the tracker's
+        observed ratio equals the :class:`PageCacheStats` ratio by
+        construction (what-if cache modelling).  It records under the
+        store lock, so it sees exactly the sequence the real cache
+        serves; ``None`` (the default) costs one ``is None`` check per
+        lookup.
     """
 
     def __init__(
@@ -152,12 +162,14 @@ class PagedNodeStore:
         file_store: FileBlockStore,
         dim: int,
         capacity: int = DEFAULT_CACHE_PAGES,
+        tracker: ReuseDistanceTracker | None = None,
     ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.file_store = file_store
         self.codec = NodeCodec(dim=dim, block_size=file_store.block_size)
         self.capacity = capacity
+        self.tracker = tracker
         self.stats = PageCacheStats()
         self._pages: OrderedDict[BlockId, Node] = OrderedDict()
         self._dirty: set[BlockId] = set()
@@ -197,6 +209,8 @@ class PagedNodeStore:
             self.stats.hits += 1
             if tap is not None:
                 tap.hits += 1
+            if self.tracker is not None:
+                self.tracker.record(block_id, node.is_leaf, hit=True)
             self._pages.move_to_end(block_id)
             self._mru = (block_id, node)
             return node
@@ -206,6 +220,8 @@ class PagedNodeStore:
             if tap is not None:
                 tap.hits += 1
             node = self._mru[1]
+            if self.tracker is not None:
+                self.tracker.record(block_id, node.is_leaf, hit=True)
             self._cache_locked(block_id, node, tap=tap)
             return node
         self.stats.misses += 1
@@ -213,6 +229,8 @@ class PagedNodeStore:
             tap.misses += 1
         is_leaf, entries = self.codec.decode(self.file_store.peek(block_id))
         node = Node(is_leaf, entries)
+        if self.tracker is not None:
+            self.tracker.record(block_id, is_leaf, hit=False)
         self._cache_locked(block_id, node, tap=tap)
         return node
 
@@ -230,18 +248,24 @@ class PagedNodeStore:
             self.stats.hits += 1
             if tap is not None:
                 tap.hits += 1
+            if self.tracker is not None:
+                self.tracker.record(block_id, node.is_leaf, hit=True)
             self._mru = (block_id, node)
             return node
         if self._mru is not None and self._mru[0] == block_id:
             self.stats.hits += 1
             if tap is not None:
                 tap.hits += 1
+            if self.tracker is not None:
+                self.tracker.record(block_id, self._mru[1].is_leaf, hit=True)
             return self._mru[1]
         self.stats.misses += 1
         if tap is not None:
             tap.misses += 1
         is_leaf, entries = self.codec.decode(self.file_store.peek(block_id))
         node = Node(is_leaf, entries)
+        if self.tracker is not None:
+            self.tracker.record(block_id, is_leaf, hit=False)
         self._mru = (block_id, node)
         return node
 
@@ -585,6 +609,7 @@ class PagedTree(RTree):
         counters: IOCounters | None = None,
         readonly: bool = False,
         mmap: bool = False,
+        cache_analytics: bool = False,
     ) -> "PagedTree":
         """Open a :func:`pack_tree` index file without reading the tree.
 
@@ -609,6 +634,12 @@ class PagedTree(RTree):
             :meth:`~repro.storage.filestore.FileBlockStore.open`) —
             cheaper page-miss reads on hot concurrent read paths, same
             logical and physical accounting.
+        cache_analytics:
+            Attach a
+            :class:`~repro.obs.cachestats.ReuseDistanceTracker` to the
+            page store (budgets bracketing ``cache_pages``): miss-ratio
+            curves, frequency histograms and working-set estimates at
+            the cost of a few dict operations per counted read.
         """
         file_store = FileBlockStore.open(
             path, counters=counters, readonly=readonly, mmap=mmap
@@ -632,7 +663,14 @@ class PagedTree(RTree):
         except Exception:
             file_store.close()
             raise
-        store = PagedNodeStore(file_store, dim=dim, capacity=cache_pages)
+        tracker = (
+            ReuseDistanceTracker(capacity=max(1, cache_pages))
+            if cache_analytics
+            else None
+        )
+        store = PagedNodeStore(
+            file_store, dim=dim, capacity=cache_pages, tracker=tracker
+        )
         return cls(
             store,
             root_id,

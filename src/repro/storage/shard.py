@@ -62,6 +62,7 @@ from repro.geometry.hilbert import DEFAULT_ORDER, hilbert_key_for_center
 from repro.geometry.rect import Rect, mbr_of
 from repro.iomodel.blockstore import BlockStore, DEFAULT_BLOCK_SIZE
 from repro.iomodel.counters import IOSnapshot
+from repro.obs.profiler import phase as profile_phase
 from repro.obs.tap import active_tap, scoped_tap
 from repro.obs.trace import current_trace
 from repro.queries.join import JoinStats, SpatialJoinEngine
@@ -526,6 +527,7 @@ class ShardedTree:
         cache_pages: int = DEFAULT_CACHE_PAGES,
         readonly: bool = False,
         mmap: bool = False,
+        cache_analytics: bool = False,
     ) -> "ShardedTree":
         """Open a :func:`shard_pack` manifest and every shard it names.
 
@@ -546,6 +548,9 @@ class ShardedTree:
             Serve each shard file's physical block access from a memory
             mapping (see
             :meth:`~repro.storage.paged.PagedTree.open`).
+        cache_analytics:
+            Attach a reuse-distance tracker to **each shard's** page
+            store (see :meth:`~repro.storage.paged.PagedTree.open`).
 
         Raises :class:`ShardError` when the manifest is corrupt, a shard
         file is missing, or a shard file disagrees with the manifest
@@ -583,6 +588,7 @@ class ShardedTree:
                         cache_pages=cache_pages,
                         readonly=readonly,
                         mmap=mmap,
+                        cache_analytics=cache_analytics,
                     )
                 except StorageError as exc:
                     raise ShardError(f"{where}: {exc}") from None
@@ -917,6 +923,7 @@ def open_index(
     cache_pages: int = DEFAULT_CACHE_PAGES,
     readonly: bool = False,
     mmap: bool = False,
+    cache_analytics: bool = False,
 ) -> PagedTree | ShardedTree:
     """Open a packed index, whatever its shape.
 
@@ -938,6 +945,7 @@ def open_index(
             cache_pages=cache_pages,
             readonly=readonly,
             mmap=mmap,
+            cache_analytics=cache_analytics,
         )
     return PagedTree.open(
         resolved,
@@ -945,6 +953,7 @@ def open_index(
         cache_pages=cache_pages,
         readonly=readonly,
         mmap=mmap,
+        cache_analytics=cache_analytics,
     )
 
 
@@ -999,8 +1008,9 @@ class _ShardedFanout:
             start = time.perf_counter()
             try:
                 if not observed:
-                    return task(i)
-                with scoped_tap() as tap:
+                    with profile_phase(f"shard:{i}"):
+                        return task(i)
+                with scoped_tap() as tap, profile_phase(f"shard:{i}"):
                     try:
                         return task(i)
                     finally:

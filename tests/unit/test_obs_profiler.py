@@ -1,0 +1,169 @@
+"""Unit tests for the span-attributed sampling profiler."""
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler, current_phase, phase, profiling_active
+from repro.obs.profiler import OTHER, force_phases
+
+
+def spin(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+class TestPhaseRegistry:
+    def test_phase_is_noop_without_profiler(self):
+        assert not profiling_active()
+        with phase("execute"):
+            # Nothing is recorded when no profiler runs: the stack
+            # stays empty, so the hot path pays one int check only.
+            assert current_phase() is None
+
+    def test_phases_nest_innermost_wins(self):
+        with force_phases():
+            assert current_phase() is None
+            with phase("execute"):
+                assert current_phase() == "execute"
+                with phase("shard:0"):
+                    assert current_phase() == "shard:0"
+                assert current_phase() == "execute"
+            assert current_phase() is None
+
+    def test_phase_stack_is_per_thread(self):
+        seen = {}
+
+        def worker():
+            with phase("worker-phase"):
+                seen["worker"] = current_phase()
+
+        with force_phases(), phase("main-phase"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert current_phase() == "main-phase"
+        assert seen["worker"] == "worker-phase"
+
+
+class TestSamplingProfiler:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_depth=0)
+
+    def test_attributes_samples_to_active_phase(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        stop = threading.Event()
+
+        def worker():
+            with phase("engine:window"):
+                while not stop.is_set():
+                    spin(0.005)
+
+        thread = threading.Thread(target=worker)
+        with profiler:
+            assert profiling_active()
+            thread.start()
+            time.sleep(0.15)
+            stop.set()
+            thread.join()
+        assert not profiling_active()
+
+        table = profiler.phase_table()
+        assert table, "no samples collected"
+        phases = {row.phase for row in table}
+        assert "engine:window" in phases
+        # Self-time fractions partition the sampled time exactly.
+        assert sum(row.fraction for row in table) == pytest.approx(1.0)
+        assert sum(row.samples for row in table) == profiler.total_samples
+        top = table[0]
+        assert top.phase == "engine:window"
+        assert top.seconds == pytest.approx(
+            top.samples * profiler.seconds_per_sample
+        )
+
+    def test_idle_threads_excluded_by_default(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        release = threading.Event()
+        # A live thread with no phase: invisible unless include_idle.
+        idler = threading.Thread(target=release.wait)
+        idler.start()
+        with profiler:
+            time.sleep(0.05)
+        release.set()
+        idler.join()
+        assert all(p != OTHER for p, _ in profiler.samples)
+
+    def test_include_idle_charges_other(self):
+        profiler = SamplingProfiler(interval_s=0.001, include_idle=True)
+        stop = threading.Event()
+        worker = threading.Thread(target=lambda: stop.wait())
+        worker.start()
+        with profiler:
+            time.sleep(0.08)
+        stop.set()
+        worker.join()
+        assert any(p == OTHER for p, _ in profiler.samples)
+
+    def test_collapsed_format_round_trips(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        stop = threading.Event()
+
+        def worker():
+            with phase("execute"):
+                while not stop.is_set():
+                    spin(0.005)
+
+        thread = threading.Thread(target=worker)
+        with profiler:
+            thread.start()
+            time.sleep(0.1)
+            stop.set()
+            thread.join()
+
+        text = profiler.collapsed()
+        assert text.endswith("\n")
+        total = 0
+        for line in text.splitlines():
+            frames, count = line.rsplit(" ", 1)
+            total += int(count)
+            parts = frames.split(";")
+            assert parts[0] == "execute"
+            # Root-first convention: the thread bootstrap frames are at
+            # the front, the spinning leaf at the back.
+            assert any("threading.py" in p for p in parts[:4])
+        assert total == profiler.total_samples
+
+        buffer = io.StringIO()
+        profiler.write_collapsed(buffer)
+        assert buffer.getvalue() == text
+
+    def test_write_collapsed_to_path(self, tmp_path):
+        profiler = SamplingProfiler(interval_s=0.001)
+        profiler.samples[("execute", ("a.py:f", "b.py:g"))] = 3
+        out = tmp_path / "profile.collapsed"
+        profiler.write_collapsed(out)
+        assert out.read_text() == "execute;a.py:f;b.py:g 3\n"
+
+    def test_reset_and_reuse(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        profiler.samples[("x", ("a.py:f",))] = 2
+        profiler.ticks = 2
+        profiler.elapsed_s = 1.0
+        profiler.reset()
+        assert profiler.total_samples == 0
+        assert profiler.ticks == 0
+        assert profiler.collapsed() == ""
+
+    def test_stop_is_idempotent_and_active_count_balanced(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        profiler.start()
+        profiler.start()  # idempotent
+        profiler.stop()
+        profiler.stop()
+        assert not profiling_active()
