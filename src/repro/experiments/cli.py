@@ -286,6 +286,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=1, help="request-group threads"
     )
+    serve.add_argument(
+        "--batch-windows",
+        dest="batch_windows",
+        action="store_true",
+        help=(
+            "evaluate each batch's co-located window queries "
+            "set-at-a-time per decoded page (docs/query-engine.md)"
+        ),
+    )
     _add_serving_index_args(serve, profile=True)
 
     serve_async = sub.add_parser(
@@ -364,6 +373,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "serve the live registry over HTTP at /metrics for the "
             "duration of the sweep (0 picks a free port; 127.0.0.1 only)"
+        ),
+    )
+    serve_async.add_argument(
+        "--batch-windows",
+        dest="batch_windows",
+        action="store_true",
+        help=(
+            "evaluate coalesced window queries set-at-a-time per "
+            "decoded page in the read servers (docs/query-engine.md)"
         ),
     )
     _add_serving_index_args(serve_async, profile=True)
@@ -612,6 +630,7 @@ def main(argv: list[str] | None = None) -> int:
             slow_ms=args.slow_ms,
             profile=args.profile,
             cache_analytics=args.cache_analytics,
+            batch_windows=args.batch_windows,
         )
         print(table.render())
         return 0
@@ -664,6 +683,7 @@ def main(argv: list[str] | None = None) -> int:
             profile=args.profile,
             cache_analytics=args.cache_analytics,
             metrics_port=args.metrics_port,
+            batch_windows=args.batch_windows,
         )
         print(table.render())
         return 0

@@ -351,6 +351,7 @@ def serve_bench(
     slow_ms: float | None = None,
     profile: str | pathlib.Path | None = None,
     cache_analytics: bool = False,
+    batch_windows: bool = False,
 ) -> Table:
     """Drive a mixed batched workload through a paged index file.
 
@@ -379,6 +380,11 @@ def serve_bench(
     ``cache_analytics=True`` attaches the ghost-LRU reuse-distance
     tracker to every page store and footnotes the miss-ratio curve
     (``repro cache-report`` gives the full table).
+
+    ``batch_windows=True`` lets the server evaluate each batch's
+    co-located window queries set-at-a-time against every decoded page
+    (``docs/query-engine.md``) — results and per-request logical I/O
+    stats are identical to solo execution.
     """
     tmpdir: tempfile.TemporaryDirectory | None = None
     writer, tracer = _make_tracer(trace, sample_rate, slow_ms)
@@ -408,7 +414,9 @@ def serve_bench(
             mmap=mmap,
             cache_analytics=cache_analytics,
         ) as tree:
-            server = QueryServer(tree, workers=workers)
+            server = QueryServer(
+                tree, workers=workers, batch_windows=batch_windows
+            )
             bounds = tree.root().mbr()
             stream = mixed_requests(bounds, count=requests, seed=seed + 1)
 
@@ -625,6 +633,7 @@ def serve_async_bench(
     profile: str | pathlib.Path | None = None,
     cache_analytics: bool = False,
     metrics_port: int | None = None,
+    batch_windows: bool = False,
 ) -> Table:
     """Open-loop latency-vs-arrival-rate sweep through the async service.
 
@@ -655,6 +664,11 @@ def serve_async_bench(
     writes collapsed stacks; ``cache_analytics=True`` attaches the
     ghost-LRU tracker to each page store (curves in the footnotes and,
     with metrics on, the ``repro_cache_*`` families).
+
+    ``batch_windows=True`` turns on set-at-a-time window evaluation in
+    the service's read servers (``docs/query-engine.md``) — coalesced
+    window queries share each decoded page's kernel pass instead of
+    re-traversing per request.
     """
     tmpdir: tempfile.TemporaryDirectory | None = None
     writer, tracer = _make_tracer(trace, sample_rate, slow_ms)
@@ -724,6 +738,7 @@ def serve_async_bench(
                     tracer=tracer,
                     metrics=registry,
                     slow_log=slow_log,
+                    batch_windows=batch_windows,
                 )
                 stream = mixed_service_stream(
                     bounds,

@@ -35,6 +35,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator, Sequence
 
+from repro.geometry import kernels
+
 
 class Rect:
     """An immutable axis-parallel hyper-rectangle in d dimensions.
@@ -117,10 +119,7 @@ class Rect:
 
     def area(self) -> float:
         """d-dimensional volume (area when d = 2)."""
-        out = 1.0
-        for a, b in zip(self.lo, self.hi):
-            out *= b - a
-        return out
+        return kernels.area(self.lo, self.hi)
 
     def margin(self) -> float:
         """Sum of side lengths (half-perimeter in 2D)."""
@@ -145,24 +144,15 @@ class Rect:
 
     def intersects(self, other: "Rect") -> bool:
         """Closed-box intersection test (boundary contact counts)."""
-        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
-            if a_hi < b_lo or b_hi < a_lo:
-                return False
-        return True
+        return kernels.intersects(self.lo, self.hi, other.lo, other.hi)
 
     def contains_rect(self, other: "Rect") -> bool:
         """True when ``other`` lies entirely inside this rectangle."""
-        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
-            if b_lo < a_lo or b_hi > a_hi:
-                return False
-        return True
+        return kernels.contains(self.lo, self.hi, other.lo, other.hi)
 
     def contains_point(self, point: Sequence[float]) -> bool:
         """True when ``point`` lies inside or on the boundary."""
-        for a_lo, a_hi, p in zip(self.lo, self.hi, point):
-            if p < a_lo or p > a_hi:
-                return False
-        return True
+        return kernels.contains_point(self.lo, self.hi, point)
 
     # ------------------------------------------------------------------
     # Distances (best-first kNN, Hjaltason & Samet's MINDIST/MAXDIST)
@@ -175,15 +165,7 @@ class Rect:
         form is what the kNN engine orders its priority queue by — it is
         monotone in the true distance and avoids a sqrt per entry.
         """
-        acc = 0.0
-        for a_lo, a_hi, p in zip(self.lo, self.hi, point):
-            if p < a_lo:
-                d = a_lo - p
-                acc += d * d
-            elif p > a_hi:
-                d = p - a_hi
-                acc += d * d
-        return acc
+        return kernels.dist_sq_to_point(self.lo, self.hi, point)
 
     def min_dist_to_point(self, point: Sequence[float]) -> float:
         """Euclidean distance from ``point`` to the nearest point of self."""
@@ -209,15 +191,7 @@ class Rect:
         is the MINDIST used when the kNN target is itself a rectangle and
         by distance-bounded joins.
         """
-        acc = 0.0
-        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
-            if a_hi < b_lo:
-                d = b_lo - a_hi
-                acc += d * d
-            elif b_hi < a_lo:
-                d = a_lo - b_hi
-                acc += d * d
-        return acc
+        return kernels.dist_sq_to_rect(self.lo, self.hi, other.lo, other.hi)
 
     def min_dist_to_rect(self, other: "Rect") -> float:
         """Euclidean distance between the two closest points (0 if touching)."""
@@ -247,9 +221,10 @@ class Rect:
         """Area increase of this box needed to also cover ``other``.
 
         This is Guttman's insertion criterion: choose the child whose MBR
-        needs the least enlargement.
+        needs the least enlargement.  Same arithmetic (and operation
+        order) as the historical ``union(other).area() - area()``.
         """
-        return self.union(other).area() - self.area()
+        return kernels.enlargement(self.lo, self.hi, other.lo, other.hi)
 
     def translated(self, offset: Sequence[float]) -> "Rect":
         """A copy shifted by ``offset`` (one value per axis)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import struct
 
+from repro.geometry import kernels
 from repro.geometry.rect import Rect
 from repro.iomodel.blockstore import DEFAULT_BLOCK_SIZE
 
@@ -112,3 +113,49 @@ class NodeCodec:
             rect = Rect(coords[: self.dim], coords[self.dim :])
             entries.append((rect, pointer))
         return bool(leaf_flag), entries
+
+    def decode_arrays(self, block: bytes):
+        """Decode a block straight into structure-of-arrays form.
+
+        Returns ``(is_leaf, lo_table, hi_table, ptrs)`` where the tables
+        are :func:`repro.geometry.kernels.coord_table`-shaped (an
+        ``(n, dim)`` float64 array each under numpy, tuples of row tuples
+        under the fallback) and ``ptrs`` is a plain ``list[int]``.  No
+        ``Rect`` objects are materialized — this is the read path's
+        decoder; ``storage/paged.py`` wraps the result in a
+        ``NodeFrame``.  Byte layout is exactly :meth:`decode`'s.
+        """
+        if len(block) != self.block_size:
+            raise ValueError(
+                f"block is {len(block)} bytes, expected {self.block_size}"
+            )
+        leaf_flag, count = struct.unpack_from(HEADER_FORMAT, block, 0)
+        dim = self.dim
+        if kernels.HAVE_NUMPY:
+            np = kernels.np
+            raw = np.frombuffer(
+                block,
+                dtype=np.dtype(
+                    [("coords", "<f8", (2 * dim,)), ("ptr", "<u4")]
+                ),
+                count=count,
+                offset=HEADER_BYTES,
+            )
+            coords = np.ascontiguousarray(raw["coords"], dtype=np.float64)
+            lo = coords[:, :dim].copy()
+            hi = coords[:, dim:].copy()
+            ptrs = raw["ptr"].tolist()
+            return bool(leaf_flag), lo, hi, ptrs
+        lo_rows: list[tuple[float, ...]] = []
+        hi_rows: list[tuple[float, ...]] = []
+        ptrs = []
+        offset = HEADER_BYTES
+        for _ in range(count):
+            *coords, pointer = struct.unpack_from(
+                self._entry_format, block, offset
+            )
+            offset += self._entry_size
+            lo_rows.append(tuple(coords[:dim]))
+            hi_rows.append(tuple(coords[dim:]))
+            ptrs.append(pointer)
+        return bool(leaf_flag), tuple(lo_rows), tuple(hi_rows), ptrs

@@ -53,10 +53,33 @@ from typing import Iterator, TextIO
 __all__ = [
     "SamplingProfiler",
     "PhaseSelfTime",
+    "PHASE_VOCABULARY",
     "phase",
+    "push_phase",
+    "pop_phase",
     "current_phase",
     "profiling_active",
 ]
+
+#: The phase vocabulary: every prefix the serving and query layers push,
+#: so ``repro profile`` tables and trace span notes share one namespace.
+#:
+#: * ``execute`` — one coalesced batch executing on the server.
+#: * ``engine:<kind>`` — a query engine running one request
+#:   (``engine:window``, ``engine:knn``, ...).
+#: * ``write:<kind>`` — a mutating request (``write:insert``, ...).
+#: * ``shard:<i>`` — work attributed to one shard of a sharded store.
+#: * ``kernel:<op>`` — a vectorized geometry kernel evaluating a whole
+#:   node frame (``kernel:frame_intersecting``, ``kernel:batch_intersecting``,
+#:   ...); pushed by :mod:`repro.geometry.kernels` so kernel CPU shows
+#:   up as its own rows under the enclosing ``engine:*`` phase.
+PHASE_VOCABULARY = (
+    "execute",
+    "engine:*",
+    "write:*",
+    "shard:*",
+    "kernel:*",
+)
 
 #: Thread id -> that thread's phase stack (top = innermost phase).
 #: Mutated only by the owning thread; read by the sampler.  Under
@@ -107,6 +130,39 @@ def phase(name: str) -> Iterator[None]:
             stack.pop()
         elif name in stack:  # pragma: no cover - unbalanced exit guard
             stack.remove(name)
+
+
+def push_phase(name: str) -> bool:
+    """Non-contextmanager :func:`phase` entry for per-call hot paths.
+
+    The vectorized kernels run thousands of times per request;
+    generator-based context managers are too heavy there.  Returns True
+    when a phase was actually pushed — callers pop only then::
+
+        pushed = push_phase("kernel:frame_intersecting")
+        try:
+            ...
+        finally:
+            if pushed:
+                pop_phase()
+
+    Costs one integer check when no profiler is running.
+    """
+    if not _ACTIVE:
+        return False
+    ident = threading.get_ident()
+    stack = _PHASE_STACKS.get(ident)
+    if stack is None:
+        stack = _PHASE_STACKS[ident] = []
+    stack.append(name)
+    return True
+
+
+def pop_phase() -> None:
+    """Pop the innermost phase pushed by :func:`push_phase`."""
+    stack = _PHASE_STACKS.get(threading.get_ident())
+    if stack:
+        stack.pop()
 
 
 @contextmanager

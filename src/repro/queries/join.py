@@ -23,9 +23,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
+from repro.geometry import kernels
 from repro.geometry.rect import Rect
 from repro.queries.base import QueryStats, TraversalEngine
-from repro.rtree.node import Entry, Node
+from repro.rtree.node import Entry, Node, NodeFrame
 from repro.rtree.tree import RTree
 
 __all__ = [
@@ -136,6 +137,84 @@ def sweep_order(entries: Sequence[Entry]) -> list[int]:
     return sorted(range(len(entries)), key=lambda i: entries[i][0].lo[0])
 
 
+#: Per-node sweep state: (xmin-sorted row order, xmin column, xmax column).
+_SweepState = tuple[list[int], list[float], list[float]]
+
+
+def _sweep_state_of(frame: NodeFrame) -> _SweepState:
+    """Sweep bookkeeping for one frame, computed once per node.
+
+    The x columns are extracted as plain float lists (identical values
+    to the historical ``entries[i][0].lo[0]`` accesses), and the order
+    is the same stable sort :func:`sweep_order` produces.
+    """
+    xlo = kernels.table_column(frame.lo, 0)
+    xhi = kernels.table_column(frame.hi, 0)
+    order = sorted(range(len(xlo)), key=xlo.__getitem__)
+    return order, xlo, xhi
+
+
+def _sweep_frames(
+    frame_a: NodeFrame,
+    frame_b: NodeFrame,
+    state_a: _SweepState,
+    state_b: _SweepState,
+    mask,
+) -> Iterator[tuple[int, int]]:
+    """:func:`sweep_pairs` over frames: same sweep, vectorized tests.
+
+    ``mask`` is :func:`~repro.geometry.kernels.frame_pair_mask`'s full
+    intersection matrix (or ``None`` under the fallback backend, where
+    the sweep keeps per-pair scalar tests).  Pair production order is
+    identical to the entry-based sweep.
+    """
+    order_a, xlo_a, xhi_a = state_a
+    order_b, xlo_b, xhi_b = state_b
+    lo_a, hi_a = frame_a.lo, frame_a.hi
+    lo_b, hi_b = frame_b.lo, frame_b.hi
+    na, nb = len(order_a), len(order_b)
+    i = j = 0
+    while i < na and j < nb:
+        ia = order_a[i]
+        ib = order_b[j]
+        if xlo_a[ia] <= xlo_b[ib]:
+            # ia opens first: pair it with every right rect opening
+            # before ia closes.
+            close = xhi_a[ia]
+            jj = j
+            while jj < nb:
+                jb = order_b[jj]
+                if xlo_b[jb] > close:
+                    break
+                if (
+                    mask[ia, jb]
+                    if mask is not None
+                    else kernels.intersects(
+                        lo_a[ia], hi_a[ia], lo_b[jb], hi_b[jb]
+                    )
+                ):
+                    yield ia, jb
+                jj += 1
+            i += 1
+        else:
+            close = xhi_b[ib]
+            ii = i
+            while ii < na:
+                ja = order_a[ii]
+                if xlo_a[ja] > close:
+                    break
+                if (
+                    mask[ja, ib]
+                    if mask is not None
+                    else kernels.intersects(
+                        lo_a[ja], hi_a[ja], lo_b[ib], hi_b[ib]
+                    )
+                ):
+                    yield ja, ib
+                ii += 1
+            j += 1
+
+
 class SpatialJoinEngine:
     """Reusable intersection-join executor for a pair of trees.
 
@@ -165,11 +244,12 @@ class SpatialJoinEngine:
             )
         self._left = TraversalEngine(left, cache_internal, cache_capacity)
         self._right = TraversalEngine(right, cache_internal, cache_capacity)
-        # xmin-sorted entry orders, keyed by block id per side, so a node
-        # visited in many node pairs is sorted once.  Like the internal-
-        # node pools, this assumes the trees are not mutated mid-join.
-        self._orders_left: dict[int, list[int]] = {}
-        self._orders_right: dict[int, list[int]] = {}
+        # xmin-sorted row orders plus x-column extracts, keyed by block id
+        # per side, so a node visited in many node pairs is sorted once.
+        # Like the internal-node pools, this assumes the trees are not
+        # mutated mid-join.
+        self._orders_left: dict[int, _SweepState] = {}
+        self._orders_right: dict[int, _SweepState] = {}
         self.totals = JoinStats()
 
     def join(self) -> tuple[list[JoinPair], JoinStats]:
@@ -198,7 +278,7 @@ class SpatialJoinEngine:
         right_root_id = self._right.tree.root_id
         left_root = self._read_left(left_root_id, stats)
         right_root = self._read_right(right_root_id, stats)
-        if left_root.entries and right_root.entries:
+        if len(left_root) and len(right_root):
             if left_root.mbr().intersects(right_root.mbr()):
                 self._join_pair(
                     left_root_id, left_root, right_root_id, right_root,
@@ -217,14 +297,14 @@ class SpatialJoinEngine:
     def _read_right(self, block_id: int, stats: JoinStats) -> Node:
         return self._right._read(block_id, stats.right)
 
-    def _order(
-        self, cache: dict[int, list[int]], block_id: int, node: Node
-    ) -> list[int]:
-        order = cache.get(block_id)
-        if order is None:
-            order = sweep_order(node.entries)
-            cache[block_id] = order
-        return order
+    def _sweep_state(
+        self, cache: dict[int, _SweepState], block_id: int, frame: NodeFrame
+    ) -> _SweepState:
+        state = cache.get(block_id)
+        if state is None:
+            state = _sweep_state_of(frame)
+            cache[block_id] = state
+        return state
 
     def _join_pair(
         self,
@@ -236,53 +316,86 @@ class SpatialJoinEngine:
         stats: JoinStats,
     ) -> None:
         stats.node_pairs += 1
-        if node_a.is_leaf and node_b.is_leaf:
+        frame_a = node_a.frame()
+        frame_b = node_b.frame()
+        if frame_a.is_leaf and frame_b.is_leaf:
+            mask = kernels.frame_pair_mask(
+                frame_a.lo, frame_a.hi, frame_b.lo, frame_b.hi
+            )
+            if out is None and mask is not None:
+                # Count-only: the mask already holds every intersecting
+                # pair exactly once — no sweep needed.
+                stats.pairs += int(mask.sum())
+                return
             left_objects = self._left.tree.objects
             right_objects = self._right.tree.objects
-            pairs = sweep_pairs(
-                node_a.entries,
-                node_b.entries,
-                self._order(self._orders_left, id_a, node_a),
-                self._order(self._orders_right, id_b, node_b),
+            pairs = _sweep_frames(
+                frame_a,
+                frame_b,
+                self._sweep_state(self._orders_left, id_a, frame_a),
+                self._sweep_state(self._orders_right, id_b, frame_b),
+                mask,
             )
             for i, j in pairs:
                 stats.pairs += 1
                 if out is not None:
-                    ra, oa = node_a.entries[i]
-                    rb, ob = node_b.entries[j]
                     out.append(
-                        ((ra, left_objects.get(oa)), (rb, right_objects.get(ob)))
+                        (
+                            (
+                                frame_a.rect(i),
+                                left_objects.get(frame_a.ptrs[i]),
+                            ),
+                            (
+                                frame_b.rect(j),
+                                right_objects.get(frame_b.ptrs[j]),
+                            ),
+                        )
                     )
-        elif node_a.is_leaf:
+        elif frame_a.is_leaf:
             # Height mismatch: fix the left leaf, descend the right tree.
-            mbr_a = node_a.mbr()
-            for rect, child_id in node_b.entries:
-                if rect.intersects(mbr_a):
-                    child = self._read_right(child_id, stats)
-                    self._join_pair(id_a, node_a, child_id, child, out, stats)
-        elif node_b.is_leaf:
-            mbr_b = node_b.mbr()
-            for rect, child_id in node_a.entries:
-                if rect.intersects(mbr_b):
-                    child = self._read_left(child_id, stats)
-                    self._join_pair(child_id, child, id_b, node_b, out, stats)
+            mbr_a = frame_a.mbr()
+            rows = kernels.frame_intersecting(
+                frame_b.lo,
+                frame_b.hi,
+                kernels.as_coords(mbr_a.lo),
+                kernels.as_coords(mbr_a.hi),
+            )
+            for row in rows:
+                child_id = frame_b.ptrs[row]
+                child = self._read_right(child_id, stats)
+                self._join_pair(id_a, node_a, child_id, child, out, stats)
+        elif frame_b.is_leaf:
+            mbr_b = frame_b.mbr()
+            rows = kernels.frame_intersecting(
+                frame_a.lo,
+                frame_a.hi,
+                kernels.as_coords(mbr_b.lo),
+                kernels.as_coords(mbr_b.hi),
+            )
+            for row in rows:
+                child_id = frame_a.ptrs[row]
+                child = self._read_left(child_id, stats)
+                self._join_pair(child_id, child, id_b, node_b, out, stats)
         else:
             # Both internal: plane-sweep the entry pairs, then group by
             # left child so each left child is fetched once per visit.
             matches: dict[int, list[int]] = {}
-            pairs = sweep_pairs(
-                node_a.entries,
-                node_b.entries,
-                self._order(self._orders_left, id_a, node_a),
-                self._order(self._orders_right, id_b, node_b),
+            pairs = _sweep_frames(
+                frame_a,
+                frame_b,
+                self._sweep_state(self._orders_left, id_a, frame_a),
+                self._sweep_state(self._orders_right, id_b, frame_b),
+                kernels.frame_pair_mask(
+                    frame_a.lo, frame_a.hi, frame_b.lo, frame_b.hi
+                ),
             )
             for i, j in pairs:
                 matches.setdefault(i, []).append(j)
             for i in sorted(matches):
-                child_a_id = node_a.entries[i][1]
+                child_a_id = frame_a.ptrs[i]
                 child_a = self._read_left(child_a_id, stats)
                 for j in matches[i]:
-                    child_b_id = node_b.entries[j][1]
+                    child_b_id = frame_b.ptrs[j]
                     child_b = self._read_right(child_b_id, stats)
                     self._join_pair(
                         child_a_id, child_a, child_b_id, child_b, out, stats

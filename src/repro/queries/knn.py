@@ -31,6 +31,7 @@ import heapq
 import math
 from typing import Any, Iterator, NamedTuple, Sequence
 
+from repro.geometry import kernels
 from repro.geometry.rect import Rect
 from repro.queries.base import QueryStats, TraversalEngine
 
@@ -82,35 +83,51 @@ class KNNEngine(TraversalEngine):
 
     def _nearest(self, target: Rect | Sequence[float]) -> Iterator[Neighbor]:
         self.totals.queries += 1
+        # Every popped node's per-row MINDISTs come from one frame kernel
+        # call; data rows go on the heap as (frame, row) so the Rect is
+        # only materialized if the row is actually reported.
+        if isinstance(target, Rect):
+            q_lo = kernels.as_coords(target.lo)
+            q_hi = kernels.as_coords(target.hi)
+
+            def frame_dists(frame):
+                return kernels.frame_dist_sq_to_rect(
+                    frame.lo, frame.hi, q_lo, q_hi
+                )
+        else:
+            p = kernels.as_coords(target)
+
+            def frame_dists(frame):
+                return kernels.frame_dist_sq_to_point(frame.lo, frame.hi, p)
+
         # (squared distance, insertion counter, kind, payload); the counter
-        # breaks ties so heapq never compares Rects or Nodes.
+        # breaks ties so heapq never compares frames or Nodes.
         heap: list[tuple[float, int, int, Any]] = []
         counter = 0
         heap.append((0.0, counter, _NODE, self.tree.root_id))
         while heap:
             dist_sq, _, kind, payload = heapq.heappop(heap)
             if kind == _DATA:
-                rect, oid = payload
+                frame, i = payload
                 self.totals.reported += 1
                 yield Neighbor(
-                    math.sqrt(dist_sq), rect, self.tree.objects.get(oid)
+                    math.sqrt(dist_sq),
+                    frame.rect(i),
+                    self.tree.objects.get(frame.ptrs[i]),
                 )
                 continue
             node = self._read(payload, self.totals)
-            if node.is_leaf:
-                for rect, oid in node.entries:
+            frame = node.frame()
+            dists = frame_dists(frame)
+            if frame.is_leaf:
+                for i, d in enumerate(dists):
                     counter += 1
-                    heapq.heappush(
-                        heap,
-                        (_dist_sq(rect, target), counter, _DATA, (rect, oid)),
-                    )
+                    heapq.heappush(heap, (d, counter, _DATA, (frame, i)))
             else:
-                for rect, child_id in node.entries:
+                ptrs = frame.ptrs
+                for i, d in enumerate(dists):
                     counter += 1
-                    heapq.heappush(
-                        heap,
-                        (_dist_sq(rect, target), counter, _NODE, child_id),
-                    )
+                    heapq.heappush(heap, (d, counter, _NODE, ptrs[i]))
 
     def knn(
         self, target: Rect | Sequence[float], k: int

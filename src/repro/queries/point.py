@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
+from repro.geometry import kernels
 from repro.geometry.rect import Rect
 from repro.queries.base import QueryStats, TraversalEngine
 
@@ -48,10 +49,14 @@ class PointQueryEngine(TraversalEngine):
             raise ValueError(
                 f"{len(point)}-d point against a {self.tree.dim}-d tree"
             )
-        return self._run(
-            descend=lambda box: box.contains_point(point),
-            report=lambda rect: rect.contains_point(point),
-        )
+        p = kernels.as_coords(point)
+
+        def stabbing(frame):
+            return kernels.frame_containing_point(frame.lo, frame.hi, p)
+
+        # A subtree is descended only when its box contains the point —
+        # the same kernel prunes and reports.
+        return self._run(descend_rows=stabbing, report_rows=stabbing)
 
     def containment_query(
         self, window: Rect
@@ -61,9 +66,18 @@ class PointQueryEngine(TraversalEngine):
             raise ValueError(
                 f"{window.dim}-d window against a {self.tree.dim}-d tree"
             )
+        q_lo = kernels.as_coords(window.lo)
+        q_hi = kernels.as_coords(window.hi)
+        # Pruning still uses intersection (a child box need not be
+        # contained for its rectangles to be); reporting checks full
+        # containment.
         return self._run(
-            descend=window.intersects,
-            report=lambda rect: window.contains_rect(rect),
+            descend_rows=lambda frame: kernels.frame_intersecting(
+                frame.lo, frame.hi, q_lo, q_hi
+            ),
+            report_rows=lambda frame: kernels.frame_contained_in(
+                frame.lo, frame.hi, q_lo, q_hi
+            ),
         )
 
     def count(self, window: Rect) -> tuple[int, QueryStats]:
@@ -76,35 +90,61 @@ class PointQueryEngine(TraversalEngine):
             raise ValueError(
                 f"{window.dim}-d window against a {self.tree.dim}-d tree"
             )
+        q_lo = kernels.as_coords(window.lo)
+        q_hi = kernels.as_coords(window.hi)
         _, stats = self._run(
-            descend=window.intersects,
-            report=window.intersects,
-            materialize=False,
+            descend_rows=lambda frame: kernels.frame_intersecting(
+                frame.lo, frame.hi, q_lo, q_hi
+            ),
+            report_rows=None,
+            count_rows=lambda frame: kernels.frame_count_intersecting(
+                frame.lo, frame.hi, q_lo, q_hi
+            ),
         )
         return stats.reported, stats
 
     def _run(
         self,
-        descend: Callable[[Rect], bool],
-        report: Callable[[Rect], bool],
-        materialize: bool = True,
+        descend_rows: Callable[..., list[int]],
+        report_rows: Callable[..., list[int]] | None,
+        count_rows: Callable[..., int] | None = None,
     ) -> tuple[list[tuple[Rect, Any]], QueryStats]:
+        """Depth-first traversal with whole-frame evaluation.
+
+        ``descend_rows(frame)`` returns the internal rows to push,
+        ``report_rows(frame)`` the leaf rows to materialize; a count-only
+        operator passes ``count_rows`` instead so leaves never build an
+        index list (or a ``Rect``) at all.
+        """
         tree = self.tree
         stats = QueryStats(queries=1)
         matches: list[tuple[Rect, Any]] = []
         stack = [tree.root_id]
         while stack:
             node = self._read(stack.pop(), stats)
-            if node.is_leaf:
-                for rect, oid in node.entries:
-                    if report(rect):
-                        stats.reported += 1
-                        if materialize:
-                            matches.append((rect, tree.objects.get(oid)))
+            frame = node.frame()
+            if frame.is_leaf:
+                if report_rows is None:
+                    stats.reported += count_rows(frame)
+                    continue
+                rows = report_rows(frame)
+                stats.reported += len(rows)
+                entries = node.cached_entries()
+                if entries is None:
+                    for i in rows:
+                        matches.append(
+                            (frame.rect(i), tree.objects.get(frame.ptrs[i]))
+                        )
+                else:
+                    # Report existing Rect objects when the node has a
+                    # materialized entry list (identical values).
+                    for i in rows:
+                        rect, pointer = entries[i]
+                        matches.append((rect, tree.objects.get(pointer)))
             else:
-                for rect, child_id in node.entries:
-                    if descend(rect):
-                        stack.append(child_id)
+                ptrs = frame.ptrs
+                for i in descend_rows(frame):
+                    stack.append(ptrs[i])
         self.totals.merge(stats)
         return matches, stats
 

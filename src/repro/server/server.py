@@ -56,6 +56,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.geometry import kernels
 from repro.geometry.hilbert import hilbert_key_for_center
 from repro.obs.profiler import phase as profile_phase
 from repro.obs.tap import scoped_tap
@@ -233,6 +234,19 @@ class QueryServer:
         rewrite the tree descriptor), so each batch is a consistency
         point on disk.  Disable to let dirty pages accumulate across
         batches (fewer physical writes, sync on close).
+    batch_windows:
+        Execute each group of co-located window queries as **one**
+        set-at-a-time traversal
+        (:meth:`~repro.rtree.query.QueryEngine.query_batch`): every page
+        the group touches is read once and evaluated against all active
+        windows in a single batch×page kernel broadcast.  Results are
+        bit-identical to per-request execution and per-request statistics
+        stay as-if-solo; pages shared between windows cost one logical
+        read instead of one per query, so ``leaf_ios`` (the sum of
+        per-query costs) can exceed the batch's attributed ``io`` reads.
+        Applies to untraced plain-tree window requests; traced requests,
+        sharded indexes, and the other operators keep per-request
+        execution.  Default off — the paper's per-query accounting.
     """
 
     def __init__(
@@ -242,6 +256,7 @@ class QueryServer:
         reorder: bool = True,
         workers: int = 1,
         sync_writes: bool = True,
+        batch_windows: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -252,6 +267,7 @@ class QueryServer:
         self.reorder = reorder
         self.workers = workers
         self.sync_writes = sync_writes
+        self.batch_windows = batch_windows
         self.batches_served = 0
         self._engines: dict[tuple, Any] = {}
         self._bounds: dict[str, Rect | None] = {}
@@ -459,11 +475,55 @@ class QueryServer:
             end,
             cat="engine",
             index=getattr(request, "index", None) or "",
+            kernel=kernels.BACKEND,
             io=tap.snapshot(),
         )
         return RequestResult(
             request=request, value=value, stats=stats, latency_s=end - start
         )
+
+    def _execute_window_batch(self, engine: QueryEngine, entries: list) -> list:
+        """Run one group of window requests as a single batch traversal.
+
+        ``entries`` are locality-ordered ``(key, request, None)`` rows of
+        one (index, window) group; the group becomes one
+        :meth:`~repro.rtree.query.QueryEngine.query_batch` call.
+        Per-request latency is the batch's wall clock split evenly —
+        individual attribution is meaningless inside a shared traversal.
+        """
+        windows = [request.window for _, request, _ in entries]
+        with profile_phase("engine:window"):
+            start = time.perf_counter()
+            all_matches, all_stats = engine.query_batch(windows)
+            latency = time.perf_counter() - start
+        per_request = latency / len(entries)
+        return [
+            (
+                key,
+                RequestResult(
+                    request=request,
+                    value=all_matches[i],
+                    stats=all_stats[i],
+                    latency_s=per_request,
+                ),
+            )
+            for i, (key, request, _) in enumerate(entries)
+        ]
+
+    def _batchable_windows(self, entries: list) -> bool:
+        """True when a locality-ordered group can run set-at-a-time."""
+        if not self.batch_windows or len(entries) < 2:
+            return False
+        if not all(
+            isinstance(request, WindowRequest) and trace is None
+            for _, request, trace in entries
+        ):
+            return False
+        dims = {request.window.dim for _, request, _ in entries}
+        if len(dims) != 1:
+            return False  # mixed dims surface their errors per request
+        engine = self._engine(_group_key(entries[0][1]))
+        return type(engine) is QueryEngine
 
     def _batch_names(self, requests: Iterable[Request]) -> set[str]:
         """Names of every index this batch addresses."""
@@ -575,6 +635,9 @@ class QueryServer:
                     if self.reorder
                     else entries
                 )
+                if self._batchable_windows(ordered):
+                    engine = self._engine(_group_key(ordered[0][1]))
+                    return self._execute_window_batch(engine, ordered)
                 return [
                     (key, self._execute_one(request, trace))
                     for key, request, trace in ordered

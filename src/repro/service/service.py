@@ -206,6 +206,10 @@ class AsyncQueryService:
     server_workers:
         ``workers`` for each pool server: >1 additionally fans one
         sharded request across its shards.
+    batch_windows:
+        Passed through to the pool servers: each coalesced batch's
+        co-located window-query groups execute as one set-at-a-time
+        batch×page traversal (see :class:`~repro.server.QueryServer`).
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`.  When set, every
         request the tracer's sampling keeps (or that turns out slow)
@@ -244,6 +248,7 @@ class AsyncQueryService:
         reorder: bool = True,
         sync_writes: bool = False,
         server_workers: int = 1,
+        batch_windows: bool = False,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         metrics_interval: float = 1.0,
@@ -282,6 +287,7 @@ class AsyncQueryService:
             reorder=reorder,
             workers=server_workers,
             sync_writes=sync_writes,
+            batch_windows=batch_windows,
         )
         # Read pool members share the writer's (normalized) catalog and
         # tree handles; each in-flight read batch owns one member, so
@@ -293,6 +299,7 @@ class AsyncQueryService:
                 reorder=reorder,
                 workers=server_workers,
                 sync_writes=sync_writes,
+                batch_windows=batch_windows,
             )
             for _ in range(executor_workers)
         ]

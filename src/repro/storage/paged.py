@@ -58,7 +58,7 @@ from repro.iomodel.counters import IOCounters
 from repro.iomodel.store import BlockId
 from repro.obs.cachestats import ReuseDistanceTracker
 from repro.obs.tap import IOTap, active_tap
-from repro.rtree.node import Node
+from repro.rtree.node import Node, NodeFrame
 from repro.rtree.persist import PersistError
 from repro.rtree.tree import RTree
 from repro.storage.filestore import (
@@ -227,10 +227,9 @@ class PagedNodeStore:
         self.stats.misses += 1
         if tap is not None:
             tap.misses += 1
-        is_leaf, entries = self.codec.decode(self.file_store.peek(block_id))
-        node = Node(is_leaf, entries)
+        node = self._decode_locked(block_id)
         if self.tracker is not None:
-            self.tracker.record(block_id, is_leaf, hit=False)
+            self.tracker.record(block_id, node.is_leaf, hit=False)
         self._cache_locked(block_id, node, tap=tap)
         return node
 
@@ -262,12 +261,24 @@ class PagedNodeStore:
         self.stats.misses += 1
         if tap is not None:
             tap.misses += 1
-        is_leaf, entries = self.codec.decode(self.file_store.peek(block_id))
-        node = Node(is_leaf, entries)
+        node = self._decode_locked(block_id)
         if self.tracker is not None:
-            self.tracker.record(block_id, is_leaf, hit=False)
+            self.tracker.record(block_id, node.is_leaf, hit=False)
         self._mru = (block_id, node)
         return node
+
+    def _decode_locked(self, block_id: BlockId) -> Node:
+        """Decode one block straight into a frame-backed node.
+
+        The decoded page is the structure-of-arrays representation the
+        vectorized kernels consume; ``Rect`` entry tuples only ever
+        materialize if the write path touches the page.  Physical read
+        and decode accounting stays with the caller.
+        """
+        is_leaf, lo, hi, ptrs = self.codec.decode_arrays(
+            self.file_store.peek(block_id)
+        )
+        return Node.from_frame(NodeFrame(is_leaf, lo, hi, ptrs))
 
     def _cache_locked(
         self,
@@ -381,9 +392,9 @@ class PagedNodeStore:
         is nowhere to defer to and the write falls back to
         write-through.
         """
-        if len(node.entries) > self.codec.fanout:
+        if len(node) > self.codec.fanout:
             raise ValueError(
-                f"{len(node.entries)} entries exceed block fan-out "
+                f"{len(node)} entries exceed block fan-out "
                 f"{self.codec.fanout}"
             )
         tap = active_tap()
@@ -403,9 +414,9 @@ class PagedNodeStore:
         included) but the node's bytes stay in the cache as a dirty
         page until flushed.
         """
-        if node is not None and len(node.entries) > self.codec.fanout:
+        if node is not None and len(node) > self.codec.fanout:
             raise ValueError(
-                f"{len(node.entries)} entries exceed block fan-out "
+                f"{len(node)} entries exceed block fan-out "
                 f"{self.codec.fanout}"
             )
         tap = active_tap()

@@ -1,0 +1,534 @@
+"""Differential suite: vectorized kernels vs the pre-refactor scalar path.
+
+The array-native read path (structure-of-arrays ``NodeFrame`` +
+:mod:`repro.geometry.kernels`) must be a pure representation change:
+**bit-identical results** (same matches, same order, same floats) and
+**identical logical I/O** (same ``QueryStats``/``JoinStats``, same page
+traffic) as the historical entry-at-a-time engines.
+
+The oracles below are verbatim copies of the pre-refactor per-entry
+traversal code — ``Rect`` method calls over ``node.entries`` — sharing
+:class:`~repro.queries.base.TraversalEngine` so both sides count I/O
+through the identical ``_read`` path.  Every engine (window, point,
+containment, count, kNN, join, window batches) is compared across every
+tree variant, plus a tight-cache :class:`~repro.storage.PagedTree` where
+the comparison extends to the physical
+:class:`~repro.storage.paged.PageCacheStats`.
+
+The whole file runs under both kernel backends: the no-numpy CI leg
+re-executes it with ``REPRO_NO_NUMPY=1``.
+"""
+
+import heapq
+import math
+import tempfile
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk.hilbert import build_hilbert, build_hilbert4
+from repro.bulk.str_pack import build_str
+from repro.bulk.tgs import build_tgs
+from repro.geometry.rect import Rect
+from repro.iomodel.blockstore import BlockStore
+from repro.prtree.prtree import build_prtree
+from repro.queries.join import JoinStats, SpatialJoinEngine, sweep_pairs, sweep_order
+from repro.queries.knn import KNNEngine, Neighbor, _dist_sq
+from repro.queries.point import PointQueryEngine
+from repro.rtree.query import QueryEngine, QueryStats
+from repro.queries.base import TraversalEngine
+from repro.storage import PagedTree, pack_tree
+
+from tests.conftest import random_rects, random_windows
+
+ALL_BUILDERS = [build_hilbert, build_hilbert4, build_tgs, build_str, build_prtree]
+BUILDER_IDS = ["H", "H4", "TGS", "STR", "PR"]
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def rect_datasets(draw, dim=2, max_size=60):
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    data = []
+    for i in range(n):
+        lo = [draw(unit) for _ in range(dim)]
+        hi = [min(1.0, c + draw(st.floats(min_value=0.0, max_value=0.3))) for c in lo]
+        data.append((Rect(lo, hi), i))
+    return data
+
+
+@st.composite
+def windows(draw, dim=2):
+    lo = [draw(unit) for _ in range(dim)]
+    hi = [min(1.0, c + draw(st.floats(min_value=0.0, max_value=0.6))) for c in lo]
+    return Rect(lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Scalar oracles: the pre-refactor per-entry engines, copied verbatim.
+# ----------------------------------------------------------------------
+
+
+class ScalarWindowEngine(TraversalEngine):
+    """The historical entry-at-a-time window query."""
+
+    def query(self, window):
+        tree = self.tree
+        stats = QueryStats(queries=1)
+        matches = []
+        stack = [tree.root_id]
+        while stack:
+            node = self._read(stack.pop(), stats)
+            if node.is_leaf:
+                for rect, pointer in node.entries:
+                    if rect.intersects(window):
+                        matches.append((rect, tree.objects.get(pointer)))
+                        stats.reported += 1
+            else:
+                for rect, pointer in node.entries:
+                    if rect.intersects(window):
+                        stack.append(pointer)
+        self.totals.merge(stats)
+        return matches, stats
+
+
+class ScalarPointEngine(TraversalEngine):
+    """The historical per-entry point / containment / count queries."""
+
+    def point_query(self, point):
+        point = tuple(float(c) for c in point)
+        return self._run(
+            descend=lambda rect: rect.contains_point(point),
+            report=lambda rect: rect.contains_point(point),
+        )
+
+    def containment_query(self, window):
+        return self._run(
+            descend=lambda rect: rect.intersects(window),
+            report=lambda rect: window.contains_rect(rect),
+        )
+
+    def count(self, window):
+        _, stats = self._run(
+            descend=lambda rect: rect.intersects(window),
+            report=lambda rect: rect.intersects(window),
+            materialize=False,
+        )
+        return stats.reported, stats
+
+    def _run(self, descend, report, materialize=True):
+        tree = self.tree
+        stats = QueryStats(queries=1)
+        matches = []
+        stack = [tree.root_id]
+        while stack:
+            node = self._read(stack.pop(), stats)
+            if node.is_leaf:
+                for rect, pointer in node.entries:
+                    if report(rect):
+                        stats.reported += 1
+                        if materialize:
+                            matches.append((rect, tree.objects.get(pointer)))
+            else:
+                for rect, pointer in node.entries:
+                    if descend(rect):
+                        stack.append(pointer)
+        self.totals.merge(stats)
+        return matches, stats
+
+
+_NODE, _DATA = 0, 1
+
+
+class ScalarKNNEngine(TraversalEngine):
+    """The historical best-first kNN over entry tuples."""
+
+    def knn(self, target, k):
+        self.totals.queries += 1
+        neighbors = []
+        heap = [(0.0, 0, _NODE, self.tree.root_id)]
+        counter = 0
+        while heap and len(neighbors) < k:
+            dist_sq, _, kind, payload = heapq.heappop(heap)
+            if kind == _DATA:
+                rect, pointer = payload
+                self.totals.reported += 1
+                neighbors.append(
+                    Neighbor(
+                        math.sqrt(dist_sq),
+                        rect,
+                        self.tree.objects.get(pointer),
+                    )
+                )
+                continue
+            node = self._read(payload, self.totals)
+            kind = _DATA if node.is_leaf else _NODE
+            for rect, pointer in node.entries:
+                counter += 1
+                payload = (rect, pointer) if node.is_leaf else pointer
+                heapq.heappush(
+                    heap, (_dist_sq(rect, target), counter, kind, payload)
+                )
+        return neighbors
+
+
+class ScalarJoinEngine:
+    """The historical entry-based synchronized join with plane sweep."""
+
+    def __init__(self, left, right):
+        self._left = TraversalEngine(left)
+        self._right = TraversalEngine(right)
+        self._orders_left = {}
+        self._orders_right = {}
+        self.totals = JoinStats()
+
+    def join(self):
+        out = []
+        return out, self._run(out)
+
+    def pair_count(self):
+        stats = self._run(None)
+        return stats.pairs, stats
+
+    def _run(self, out):
+        stats = JoinStats(joins=1)
+        left_root_id = self._left.tree.root_id
+        right_root_id = self._right.tree.root_id
+        left_root = self._left._read(left_root_id, stats.left)
+        right_root = self._right._read(right_root_id, stats.right)
+        if left_root.entries and right_root.entries:
+            if left_root.mbr().intersects(right_root.mbr()):
+                self._join_pair(
+                    left_root_id, left_root, right_root_id, right_root,
+                    out, stats,
+                )
+        self.totals.merge(stats)
+        return stats
+
+    def _order(self, cache, block_id, node):
+        order = cache.get(block_id)
+        if order is None:
+            order = cache[block_id] = sweep_order(node.entries)
+        return order
+
+    def _join_pair(self, id_a, node_a, id_b, node_b, out, stats):
+        stats.node_pairs += 1
+        if node_a.is_leaf and node_b.is_leaf:
+            left_objects = self._left.tree.objects
+            right_objects = self._right.tree.objects
+            pairs = sweep_pairs(
+                node_a.entries,
+                node_b.entries,
+                self._order(self._orders_left, id_a, node_a),
+                self._order(self._orders_right, id_b, node_b),
+            )
+            for i, j in pairs:
+                stats.pairs += 1
+                if out is not None:
+                    rect_a, ptr_a = node_a.entries[i]
+                    rect_b, ptr_b = node_b.entries[j]
+                    out.append(
+                        (
+                            (rect_a, left_objects.get(ptr_a)),
+                            (rect_b, right_objects.get(ptr_b)),
+                        )
+                    )
+        elif node_a.is_leaf:
+            mbr_a = node_a.mbr()
+            for rect, child_id in node_b.entries:
+                if rect.intersects(mbr_a):
+                    child = self._right._read(child_id, stats.right)
+                    self._join_pair(id_a, node_a, child_id, child, out, stats)
+        elif node_b.is_leaf:
+            mbr_b = node_b.mbr()
+            for rect, child_id in node_a.entries:
+                if rect.intersects(mbr_b):
+                    child = self._left._read(child_id, stats.left)
+                    self._join_pair(child_id, child, id_b, node_b, out, stats)
+        else:
+            matches = {}
+            pairs = sweep_pairs(
+                node_a.entries,
+                node_b.entries,
+                self._order(self._orders_left, id_a, node_a),
+                self._order(self._orders_right, id_b, node_b),
+            )
+            for i, j in pairs:
+                matches.setdefault(i, []).append(j)
+            for i in sorted(matches):
+                child_a_id = node_a.entries[i][1]
+                child_a = self._left._read(child_a_id, stats.left)
+                for j in matches[i]:
+                    child_b_id = node_b.entries[j][1]
+                    child_b = self._right._read(child_b_id, stats.right)
+                    self._join_pair(
+                        child_a_id, child_a, child_b_id, child_b, out, stats
+                    )
+
+
+def build_all(data, fanout):
+    return [
+        (name, builder(BlockStore(), data, fanout))
+        for builder, name in zip(ALL_BUILDERS, BUILDER_IDS)
+    ]
+
+
+# ----------------------------------------------------------------------
+# The differential sweeps
+# ----------------------------------------------------------------------
+
+
+class TestWindowDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(rect_datasets(), windows(), st.integers(min_value=2, max_value=9))
+    def test_window_query_identical(self, data, window, fanout):
+        for name, tree in build_all(data, fanout):
+            got_m, got_s = QueryEngine(tree).query(window)
+            want_m, want_s = ScalarWindowEngine(tree).query(window)
+            assert got_m == want_m, f"{name}: matches differ"
+            assert got_s == want_s, f"{name}: logical I/O differs"
+
+    @settings(max_examples=10, deadline=None)
+    @given(rect_datasets(dim=3, max_size=40), windows(dim=3))
+    def test_window_query_identical_3d(self, data, window):
+        for name, tree in build_all(data, 4):
+            got_m, got_s = QueryEngine(tree).query(window)
+            want_m, want_s = ScalarWindowEngine(tree).query(window)
+            assert (got_m, got_s) == (want_m, want_s), name
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rect_datasets(max_size=50),
+        st.lists(windows(), min_size=0, max_size=6),
+        st.integers(min_value=2, max_value=9),
+    )
+    def test_query_batch_identical_to_scalar_solo(self, data, batch, fanout):
+        for name, tree in build_all(data, fanout):
+            got_matches, got_stats = QueryEngine(tree).query_batch(batch)
+            for window, got_m, got_s in zip(batch, got_matches, got_stats):
+                want_m, want_s = ScalarWindowEngine(tree).query(window)
+                assert got_m == want_m, f"{name}: batch matches differ"
+                assert got_s.leaf_reads == want_s.leaf_reads, name
+                assert got_s.internal_visits == want_s.internal_visits, name
+                assert got_s.reported == want_s.reported, name
+
+
+class TestPointDifferential:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rect_datasets(),
+        st.tuples(unit, unit),
+        st.integers(min_value=2, max_value=9),
+    )
+    def test_point_query_identical(self, data, point, fanout):
+        for name, tree in build_all(data, fanout):
+            got = PointQueryEngine(tree).point_query(point)
+            want = ScalarPointEngine(tree).point_query(point)
+            assert got == want, name
+
+    @settings(max_examples=20, deadline=None)
+    @given(rect_datasets(), windows(), st.integers(min_value=2, max_value=9))
+    def test_containment_and_count_identical(self, data, window, fanout):
+        for name, tree in build_all(data, fanout):
+            engine = PointQueryEngine(tree)
+            oracle = ScalarPointEngine(tree)
+            assert engine.containment_query(window) == oracle.containment_query(
+                window
+            ), name
+            # Fresh engines: the shared internal pools must not leak
+            # state between the two operators under comparison.
+            got_n, got_s = PointQueryEngine(tree).count(window)
+            want_n, want_s = ScalarPointEngine(tree).count(window)
+            assert (got_n, got_s) == (want_n, want_s), name
+
+
+class TestKNNDifferential:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rect_datasets(max_size=50),
+        st.tuples(unit, unit),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=2, max_value=9),
+    )
+    def test_knn_point_target_identical(self, data, point, k, fanout):
+        for name, tree in build_all(data, fanout):
+            engine = KNNEngine(tree)
+            got, _ = engine.knn(point, k)
+            oracle = ScalarKNNEngine(tree)
+            want = oracle.knn(point, k)
+            assert got == want, f"{name}: neighbors differ"
+            assert engine.totals == oracle.totals, f"{name}: I/O differs"
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rect_datasets(max_size=40),
+        windows(),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_knn_rect_target_identical(self, data, target, k):
+        for name, tree in build_all(data, 5):
+            engine = KNNEngine(tree)
+            got, _ = engine.knn(target, k)
+            oracle = ScalarKNNEngine(tree)
+            want = oracle.knn(target, k)
+            assert got == want, name
+            assert engine.totals == oracle.totals, name
+
+
+class TestJoinDifferential:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rect_datasets(max_size=40),
+        rect_datasets(max_size=40),
+        st.integers(min_value=2, max_value=7),
+        st.integers(min_value=2, max_value=7),
+    )
+    def test_join_identical(self, left_data, right_data, fan_l, fan_r):
+        left = build_prtree(BlockStore(), left_data, fan_l)
+        right = build_hilbert(BlockStore(), right_data, fan_r)
+        got_pairs, got_stats = SpatialJoinEngine(left, right).join()
+        want_pairs, want_stats = ScalarJoinEngine(left, right).join()
+        assert got_pairs == want_pairs
+        assert got_stats == want_stats
+
+    @settings(max_examples=15, deadline=None)
+    @given(rect_datasets(max_size=40), rect_datasets(max_size=40))
+    def test_pair_count_identical(self, left_data, right_data):
+        left = build_tgs(BlockStore(), left_data, 4)
+        right = build_str(BlockStore(), right_data, 6)
+        got_n, got_stats = SpatialJoinEngine(left, right).pair_count()
+        want_n, want_stats = ScalarJoinEngine(left, right).pair_count()
+        assert got_n == want_n
+        assert got_stats == want_stats
+
+    @settings(max_examples=10, deadline=None)
+    @given(rect_datasets(max_size=30))
+    def test_self_join_identical(self, data):
+        tree = build_prtree(BlockStore(), data, 4)
+        got_pairs, got_stats = SpatialJoinEngine(tree, tree).join()
+        want_pairs, want_stats = ScalarJoinEngine(tree, tree).join()
+        assert got_pairs == want_pairs
+        assert got_stats == want_stats
+
+
+class TestStoreLevelIO:
+    @settings(max_examples=10, deadline=None)
+    @given(rect_datasets(max_size=50), windows())
+    def test_logical_store_reads_identical(self, data, window):
+        for name, tree in build_all(data, 5):
+            counters = tree.store.counters
+            before = counters.reads
+            QueryEngine(tree).query(window)
+            vector_reads = counters.reads - before
+            before = counters.reads
+            ScalarWindowEngine(tree).query(window)
+            scalar_reads = counters.reads - before
+            assert vector_reads == scalar_reads, name
+
+
+class TestPagedTreeDifferential:
+    """Tight-cache paged trees: logical stats AND physical page traffic."""
+
+    @pytest.fixture(scope="class")
+    def packed(self, tmp_path_factory):
+        data = random_rects(700, seed=51)
+        tree = build_prtree(BlockStore(), data, 16)
+        path = tmp_path_factory.mktemp("diff") / "index.pack"
+        pack_tree(tree, path, block_size=1024)
+        return path, dict(tree.objects)
+
+    def _compare_workload(self, packed, run_vector, run_scalar):
+        path, values = packed
+        # Two independent handles: each side gets its own page cache so
+        # the physical hit/miss/eviction sequences are comparable.
+        with PagedTree.open(
+            path, values=values, cache_pages=4, readonly=True
+        ) as vec_tree, PagedTree.open(
+            path, values=values, cache_pages=4, readonly=True
+        ) as sca_tree:
+            got = run_vector(vec_tree)
+            want = run_scalar(sca_tree)
+            assert got == want
+            assert vec_tree.page_stats == sca_tree.page_stats
+
+    def test_window_workload(self, packed):
+        queries = random_windows(15, seed=52)
+
+        def vector(tree):
+            engine = QueryEngine(tree, cache_capacity=2)
+            return [engine.query(w) for w in queries]
+
+        def scalar(tree):
+            engine = ScalarWindowEngine(tree, cache_capacity=2)
+            return [engine.query(w) for w in queries]
+
+        self._compare_workload(packed, vector, scalar)
+
+    def test_mixed_operator_workload(self, packed):
+        queries = random_windows(6, seed=53)
+        points = [(w.lo[0], w.lo[1]) for w in queries]
+
+        def vector(tree):
+            engine = PointQueryEngine(tree, cache_capacity=2)
+            out = [engine.point_query(p) for p in points]
+            out += [engine.containment_query(w) for w in queries]
+            out += [engine.count(w) for w in queries]
+            knn_engine = KNNEngine(tree, cache_capacity=2)
+            out += [knn_engine.knn(p, 5) for p in points]
+            return out
+
+        def scalar(tree):
+            engine = ScalarPointEngine(tree, cache_capacity=2)
+            out = [engine.point_query(p) for p in points]
+            out += [engine.containment_query(w) for w in queries]
+            out += [engine.count(w) for w in queries]
+            knn_engine = ScalarKNNEngine(tree, cache_capacity=2)
+            out += [(knn_engine.knn(p, 5), None) for p in points]
+            return out
+
+        # kNN return shapes differ between engine and oracle; compare
+        # neighbor lists separately below instead of via _compare_workload.
+        path, values = packed
+        with PagedTree.open(
+            path, values=values, cache_pages=4, readonly=True
+        ) as vec_tree, PagedTree.open(
+            path, values=values, cache_pages=4, readonly=True
+        ) as sca_tree:
+            engine = PointQueryEngine(vec_tree, cache_capacity=2)
+            oracle = ScalarPointEngine(sca_tree, cache_capacity=2)
+            for p in points:
+                assert engine.point_query(p) == oracle.point_query(p)
+            for w in queries:
+                assert engine.containment_query(w) == oracle.containment_query(w)
+                assert engine.count(w) == oracle.count(w)
+            knn_engine = KNNEngine(vec_tree, cache_capacity=2)
+            knn_oracle = ScalarKNNEngine(sca_tree, cache_capacity=2)
+            for p in points:
+                got, _ = knn_engine.knn(p, 5)
+                assert got == knn_oracle.knn(p, 5)
+            assert knn_engine.totals == knn_oracle.totals
+            assert vec_tree.page_stats == sca_tree.page_stats
+
+    def test_batch_workload(self, packed):
+        queries = random_windows(10, seed=54)
+        path, values = packed
+        with PagedTree.open(
+            path, values=values, cache_pages=4, readonly=True
+        ) as vec_tree, PagedTree.open(
+            path, values=values, cache_pages=4, readonly=True
+        ) as sca_tree:
+            got_matches, got_stats = QueryEngine(vec_tree).query_batch(queries)
+            oracle = ScalarWindowEngine(sca_tree)
+            for window, got_m, got_s in zip(queries, got_matches, got_stats):
+                want_m, want_s = oracle.query(window)
+                assert got_m == want_m
+                assert got_s.leaf_reads == want_s.leaf_reads
+                assert got_s.reported == want_s.reported
+            # The batch traversal deduplicates page visits: its physical
+            # misses can only be lower than per-query execution.
+            assert (
+                vec_tree.page_stats.misses <= sca_tree.page_stats.misses
+            )
