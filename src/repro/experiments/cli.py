@@ -16,6 +16,7 @@ Usage (installed or from a checkout)::
     python -m repro profile out.collapsed --requests 400 --shards 4
     python -m repro cache-report --cache-pages 64 --requests 2000
     python -m repro update-bench --updates 1000 --n 20000
+    python -m repro crash-bench --variants file,shard --stride 2
 
 ``run all`` executes every experiment with its defaults and writes each
 rendered table to the output directory (or stdout when none is given).
@@ -30,7 +31,10 @@ Perfetto (and exits non-zero when the capture fails its own health
 checks — span nesting, full request coverage); ``profile`` captures a
 collapsed-stack CPU profile attributed to serving phases;
 ``cache-report`` tabulates the ghost-LRU what-if analytics of the page
-cache; ``update-bench`` measures dynamic inserts/deletes on a packed
+cache; ``crash-bench`` runs the crash-recovery matrix of
+``tools/crashtest.py`` (kill at every write offset, reopen, require the
+last committed state back — exit 1 on any failure);
+``update-bench`` measures dynamic inserts/deletes on a packed
 index (dirty-page write-back) and the post-update query degradation
 versus a fresh bulk-load.  The serving subcommands share ``--trace``,
 ``--metrics``, ``--sample-rate``, ``--slow-ms``, ``--profile`` and
@@ -366,6 +370,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread-pool width = concurrently executing read batches",
     )
     serve_async.add_argument(
+        "--sync-every-n",
+        dest="sync_every_n",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "group commit: sync mutated indexes after every N write "
+            "batches, off the exclusive write window (docs/durability.md)"
+        ),
+    )
+    serve_async.add_argument(
+        "--sync-interval-ms",
+        dest="sync_interval_ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "group commit: sync mutated indexes at most MS milliseconds "
+            "after the first un-synced write batch"
+        ),
+    )
+    serve_async.add_argument(
         "--metrics-port",
         dest="metrics_port",
         type=int,
@@ -516,6 +542,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="bytes per block (default 4096, the paper's)",
     )
     update.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    crash = sub.add_parser(
+        "crash-bench",
+        help=(
+            "crash-recovery matrix: kill a scripted update workload at "
+            "every write offset, reopen, require the last committed "
+            "state back (exit 1 on any failure)"
+        ),
+    )
+    crash.add_argument("--n", type=int, default=250, help="packed dataset size")
+    crash.add_argument(
+        "--updates", type=int, default=30, help="inserts+deletes to replay"
+    )
+    crash.add_argument(
+        "--sync-every", dest="sync_every", type=int, default=10,
+        help="updates per sync() commit point",
+    )
+    crash.add_argument("--fanout", type=int, default=12)
+    crash.add_argument(
+        "--block-size", dest="block_size", type=int, default=512,
+        help="bytes per block (small blocks = more write offsets)",
+    )
+    crash.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for the family variant",
+    )
+    crash.add_argument(
+        "--modes", default="clean,torn,omit",
+        help="comma-separated subset of clean,torn,omit",
+    )
+    crash.add_argument(
+        "--variants", default="file,mmap,shard",
+        help="comma-separated subset of file,mmap,shard",
+    )
+    crash.add_argument(
+        "--stride", type=int, default=1,
+        help="test every k-th write offset (1 = exhaustive)",
+    )
+    crash.add_argument("--seed", type=int, default=0, help="injector seed")
     return parser
 
 
@@ -668,6 +733,12 @@ def main(argv: list[str] | None = None) -> int:
             max_pending_writes=args.max_pending_writes,
             admission=args.admission,
             executor_workers=args.executor_workers,
+            sync_every_n=args.sync_every_n,
+            sync_interval_s=(
+                args.sync_interval_ms / 1000.0
+                if args.sync_interval_ms is not None
+                else None
+            ),
             cache_pages=args.cache_pages,
             variant=args.variant,
             dataset=args.dataset,
@@ -772,6 +843,24 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(table.render())
         return 0
+
+    if args.command == "crash-bench":
+        from repro.experiments.crashbench import crash_matrix
+
+        table = crash_matrix(
+            n=args.n,
+            updates=args.updates,
+            fanout=args.fanout,
+            block_size=args.block_size,
+            shards=args.shards,
+            sync_every=args.sync_every,
+            modes=tuple(m for m in args.modes.split(",") if m),
+            variants=tuple(v for v in args.variants.split(",") if v),
+            stride=args.stride,
+            seed=args.seed,
+        )
+        print(table.render())
+        return 1 if sum(table.column("failures")) else 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import pathlib
 import random
+import shutil
 import tempfile
 import time
 from collections import Counter
@@ -67,7 +68,14 @@ from repro.server import (
     WindowRequest,
 )
 from repro.service import AsyncQueryService, LatencyHistogram, ServiceStats, open_loop
-from repro.storage import PagedTree, ShardedTree, open_index, pack_tree, shard_pack
+from repro.storage import (
+    FileBlockStore,
+    PagedTree,
+    ShardedTree,
+    open_index,
+    pack_tree,
+    shard_pack,
+)
 from repro.workloads.queries import square_queries
 
 __all__ = [
@@ -617,6 +625,8 @@ def serve_async_bench(
     max_pending_writes: int = 64,
     admission: str = "reject",
     executor_workers: int = 4,
+    sync_every_n: int | None = None,
+    sync_interval_s: float | None = None,
     cache_pages: int = 256,
     variant: str = "PR",
     dataset: str = "tiger-east",
@@ -735,6 +745,8 @@ def serve_async_bench(
                     max_pending_writes=max_pending_writes,
                     admission=admission,
                     executor_workers=executor_workers,
+                    sync_every_n=sync_every_n,
+                    sync_interval_s=sync_interval_s,
                     tracer=tracer,
                     metrics=registry,
                     slow_log=slow_log,
@@ -759,8 +771,11 @@ def serve_async_bench(
             if profiler is not None:
                 profiler.start()
             try:
+                commits = committed = 0
                 for i, rate in enumerate(rates):
                     report, stats = asyncio.run(run_rate(rate, seed + i + 1))
+                    commits += stats.commits
+                    committed += stats.committed_batches
                     overall = stats.overall
                     table.add_row(
                         rate,
@@ -796,6 +811,14 @@ def serve_async_bench(
                     "writes mutate the served index; each rate inserts "
                     "namespaced fresh rectangles and deletes only its own"
                 )
+            if sync_every_n is not None or sync_interval_s is not None:
+                table.add_note(
+                    f"group commit: {commits} commits covered "
+                    f"{committed} write batches "
+                    f"(sync_every_n={sync_every_n}, "
+                    f"sync_interval_s={sync_interval_s}) — "
+                    "docs/durability.md"
+                )
             if profiler is not None:
                 _profile_notes(table, profiler, profile)
             if cache_analytics:
@@ -829,6 +852,147 @@ def serve_async_bench(
             writer.close()
         if tmpdir is not None:
             tmpdir.cleanup()
+
+
+#: Durability modes ``durability_bench`` compares, in row order.
+DURABILITY_MODES = ("none", "group", "interval", "sync-writes")
+
+
+def durability_bench(
+    modes: Sequence[str] = DURABILITY_MODES,
+    sync_every_n: int = 8,
+    sync_interval_ms: float = 50.0,
+    rate: float = 2000.0,
+    requests: int = 400,
+    write_frac: float = 0.25,
+    max_batch: int = 64,
+    flush_ms: float = 2.0,
+    executor_workers: int = 4,
+    variant: str = "PR",
+    dataset: str = "tiger-east",
+    n: int = 20_000,
+    block_size: int = 4096,
+    cache_pages: int = 256,
+    seed: int = 0,
+) -> Table:
+    """Group commit vs the all-or-nothing durability knobs.
+
+    One fixed open-loop mixed workload (same stream, same arrival
+    rate) runs against a fresh copy of the same packed index under each
+    durability mode:
+
+    * ``none`` — ``sync_writes=False``, no group commit: writes are
+      never committed until ``aclose()``.  The write-latency baseline.
+    * ``group`` — ``sync_every_n=N``: commit every N write batches,
+      off the exclusive write window (``docs/durability.md``).
+    * ``interval`` — ``sync_interval_s=T``: commit on a wall-clock
+      cadence, even while idle.
+    * ``sync-writes`` — ``sync_writes=True``: every write batch pays a
+      full ``sync()`` inside the exclusive write window.
+
+    The row records what each mode paid (write-request p50/p95 —
+    end-to-end, so a commit stalling the write window shows up here —
+    plus overall p95 and achieved throughput) and what it bought
+    (commits that reached the disk *during* the run, batches they
+    covered, the store's committed epoch after close).  The acceptance
+    bar: group commit's write p95 must not exceed the ``none``
+    baseline's beyond noise — its commits happen concurrently with
+    reads, never inside the write window.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-durability-") as tmp:
+        tmpdir = pathlib.Path(tmp)
+        master = tmpdir / "master.pack"
+        pack_index(
+            master,
+            variant=variant,
+            dataset=dataset,
+            n=n,
+            block_size=block_size,
+            seed=seed,
+        )
+        table = Table(
+            title=(
+                f"durability: group commit vs sync-per-batch, "
+                f"{requests} requests at {rate:g} req/s "
+                f"({write_frac:.0%} writes), max_batch={max_batch}"
+            ),
+            headers=[
+                "mode", "completed", "batches", "commits", "committed",
+                "write_p50_ms", "write_p95_ms", "p95_ms", "achieved_rps",
+                "epoch",
+            ],
+        )
+
+        async def run_mode(tree, knobs):
+            service = AsyncQueryService(
+                tree,
+                max_batch=max_batch,
+                flush_interval=flush_ms / 1000.0,
+                admission="backpressure",
+                executor_workers=executor_workers,
+                **knobs,
+            )
+            bounds = tree.root().mbr()
+            stream = mixed_service_stream(
+                bounds,
+                count=requests,
+                write_frac=write_frac,
+                seed=seed + 1,
+                value_prefix="durability",
+            )
+            async with service:
+                report = await open_loop(service, stream, rate, seed=1)
+            return report, service.stats
+
+        knobs_by_mode = {
+            "none": {},
+            "group": {"sync_every_n": sync_every_n},
+            "interval": {"sync_interval_s": sync_interval_ms / 1000.0},
+            "sync-writes": {"sync_writes": True},
+        }
+        for mode in modes:
+            path = tmpdir / f"{mode}.pack"
+            shutil.copy(master, path)
+            with PagedTree.open(path, cache_pages=cache_pages) as tree:
+                report, stats = asyncio.run(
+                    run_mode(tree, knobs_by_mode[mode])
+                )
+            with FileBlockStore.open(path, readonly=True) as store:
+                epoch = store.commit_epoch
+            writes = LatencyHistogram()
+            writes.merge(stats.histogram("insert"))
+            writes.merge(stats.histogram("delete"))
+            table.add_row(
+                mode,
+                report.completed,
+                stats.batches,
+                stats.commits,
+                stats.committed_batches,
+                writes.percentile(50) * 1000.0,
+                writes.percentile(95) * 1000.0,
+                stats.overall.percentile(95) * 1000.0,
+                report.achieved_rps,
+                epoch,
+            )
+            if report.errors:
+                table.add_note(
+                    f"{mode}: {report.errors} errors — "
+                    + "; ".join(report.error_samples)
+                )
+        table.add_note(
+            "write_p50/p95 are end-to-end write-request latencies: a "
+            "commit inside the exclusive write window (sync-writes) "
+            "stalls them, a group commit (docs/durability.md) does not"
+        )
+        table.add_note(
+            f"group commits every {sync_every_n} write batches; interval "
+            f"commits every {sync_interval_ms:g}ms; 'commits' counts the "
+            "service's group commits (including its final one at close); "
+            "'epoch' is the store's committed epoch after the owner's "
+            "close — sync-writes commits per batch through the server, "
+            "outside the service's commit counters"
+        )
+        return table
 
 
 def trace_capture(

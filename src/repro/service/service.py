@@ -20,6 +20,13 @@ recovers the batch efficiencies underneath:
   read servers' warm engines for the mutated indexes, and only then
   lets reads resume — so writes retain submission order globally and a
   client that awaited its write always reads its own writes.
+* **Group commit.**  With ``sync_every_n``/``sync_interval_s`` the
+  service turns durability into a background cadence: every N write
+  batches (or every T seconds), all mutated indexes ``sync()`` on the
+  executor *concurrently with reads* — the atomic header-slot commit
+  of the storage layer (``docs/durability.md``) means readers never
+  see a half-published state — and the dispatcher only stalls a write
+  batch that catches an in-flight commit.
 * **Admission control.**  Each lane has a queue-depth bound.  Past it,
   ``admission="reject"`` fails fast with :class:`AdmissionError`
   (load-shedding, the open-loop benchmark's mode) and
@@ -203,6 +210,20 @@ class AsyncQueryService:
         its lock); durability points are the index owner's ``sync()`` /
         ``close()``.  Set True to make every write batch a consistency
         point, accepting the tail.
+    sync_every_n / sync_interval_s:
+        **Group commit** — the middle ground the all-or-nothing
+        ``sync_writes`` lacks.  After every ``sync_every_n``-th
+        un-synced write batch (or once ``sync_interval_s`` seconds
+        have passed since the last commit, whichever is configured and
+        fires first), the service ``sync()``s every mutated index *off
+        the exclusive write window*: the commit runs as an executor
+        task concurrent with read batches (the flush path is fully
+        locked and one atomic header-slot flip publishes it — see
+        ``docs/durability.md``), never concurrent with writes — the
+        dispatcher awaits an in-flight commit before the next write
+        batch mutates the trees.  Un-synced batches still pending at
+        :meth:`aclose` get one final commit.  Mutually exclusive with
+        ``sync_writes=True``.
     server_workers:
         ``workers`` for each pool server: >1 additionally fans one
         sharded request across its shards.
@@ -247,6 +268,8 @@ class AsyncQueryService:
         dedup: bool = True,
         reorder: bool = True,
         sync_writes: bool = False,
+        sync_every_n: int | None = None,
+        sync_interval_s: float | None = None,
         server_workers: int = 1,
         batch_windows: bool = False,
         tracer: Tracer | None = None,
@@ -269,12 +292,25 @@ class AsyncQueryService:
             raise ValueError("executor_workers must be >= 1")
         if metrics_interval <= 0:
             raise ValueError("metrics_interval must be > 0")
+        if sync_every_n is not None and sync_every_n < 1:
+            raise ValueError("sync_every_n must be >= 1")
+        if sync_interval_s is not None and sync_interval_s <= 0:
+            raise ValueError("sync_interval_s must be > 0")
+        if sync_writes and (
+            sync_every_n is not None or sync_interval_s is not None
+        ):
+            raise ValueError(
+                "sync_writes=True already commits every write batch; "
+                "group commit (sync_every_n/sync_interval_s) replaces it"
+            )
         self.max_batch = max_batch
         self.flush_interval = flush_interval
         self.max_pending_reads = max_pending_reads
         self.max_pending_writes = max_pending_writes
         self.admission = admission
         self.executor_workers = executor_workers
+        self.sync_every_n = sync_every_n
+        self.sync_interval_s = sync_interval_s
         self.stats = ServiceStats()
         self.tracer = tracer
         self.metrics = metrics
@@ -323,6 +359,15 @@ class AsyncQueryService:
         #: one registry and the counters accumulate across all of them
         #: instead of regressing when a fresh service starts from zero.
         self._exported_totals: dict[tuple[str, ...], float] = {}
+        #: Group-commit state: write batches applied but not yet made
+        #: durable, the indexes they touched, the in-flight commit (at
+        #: most one — the dispatcher awaits it before the next write
+        #: batch), and the wall clock of the last commit (the
+        #: ``sync_interval_s`` cadence reference).
+        self._unsynced_batches = 0
+        self._unsynced_indexes: set[str] = set()
+        self._sync_task: asyncio.Task | None = None
+        self._last_sync = time.perf_counter()
         self._closing = False
         self._closed = False
 
@@ -358,6 +403,11 @@ class AsyncQueryService:
         if self._dispatcher is not None:
             await self._dispatcher
             self._dispatcher = None
+        # Group commit: whatever the cadence left un-synced becomes
+        # durable now, before the executor goes away.
+        await self._await_sync()
+        if self._unsynced_batches:
+            await self._commit()
         if self._metrics_task is not None:
             self._metrics_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -471,6 +521,7 @@ class AsyncQueryService:
         the in-flight reads drain, so no lock protects the tree.
         """
         while True:
+            self._maybe_schedule_sync()
             if not self._reads and not self._writes:
                 if self._closing:
                     break
@@ -478,14 +529,33 @@ class AsyncQueryService:
                 # Re-check after clear: a submit between the check and
                 # the clear must not be lost.
                 if not self._reads and not self._writes and not self._closing:
-                    await self._wakeup.wait()
+                    timeout = self._sync_wait_timeout()
+                    if timeout is None:
+                        await self._wakeup.wait()
+                    else:
+                        # Un-synced batches and an interval cadence:
+                        # wake at the commit deadline even when idle.
+                        with contextlib.suppress(asyncio.TimeoutError):
+                            await asyncio.wait_for(
+                                self._wakeup.wait(), timeout
+                            )
                 continue
 
             if self._writes:
                 batch = self._drain(self._writes)
                 await self._notify_space()
+                # Never mutate under an in-flight group commit: the
+                # commit captures a consistent tree, so the next write
+                # batch waits for the header flips (and the manifest
+                # rename) to land.
+                await self._await_sync()
                 await self._quiesce()
                 await self._run_batch(self._writer, batch, write=True)
+                if self._group_commit:
+                    self._unsynced_batches += 1
+                    self._unsynced_indexes.update(
+                        pending.request.index for pending in batch
+                    )
                 continue
 
             batch = await self._coalesce_reads()
@@ -543,6 +613,91 @@ class AsyncQueryService:
         """Wait until no read batch is in flight."""
         while self._inflight:
             await asyncio.gather(*list(self._inflight))
+
+    # ------------------------------------------------------------------
+    # Group commit
+    # ------------------------------------------------------------------
+
+    @property
+    def _group_commit(self) -> bool:
+        return self.sync_every_n is not None or self.sync_interval_s is not None
+
+    def _sync_due(self) -> bool:
+        if not self._unsynced_batches:
+            return False
+        if self._sync_task is not None and not self._sync_task.done():
+            return False
+        if (
+            self.sync_every_n is not None
+            and self._unsynced_batches >= self.sync_every_n
+        ):
+            return True
+        return (
+            self.sync_interval_s is not None
+            and time.perf_counter() - self._last_sync >= self.sync_interval_s
+        )
+
+    def _sync_wait_timeout(self) -> float | None:
+        """Idle-wait bound: seconds until the interval cadence is due."""
+        if self.sync_interval_s is None or not self._unsynced_batches:
+            return None
+        if self._sync_task is not None and not self._sync_task.done():
+            return None
+        due = self._last_sync + self.sync_interval_s
+        return max(0.0, due - time.perf_counter())
+
+    def _maybe_schedule_sync(self) -> None:
+        """Launch a group commit as a background task when one is due.
+
+        Called only from the dispatcher, so at most one commit is ever
+        in flight and it never overlaps a write batch (the dispatcher
+        awaits it first); it *does* overlap read batches — the flush
+        path is fully locked and publication is one atomic header-slot
+        flip, so readers never see a half-commit.
+        """
+        if self._sync_due():
+            self._sync_task = asyncio.get_running_loop().create_task(
+                self._commit(), name="repro-service-commit"
+            )
+
+    async def _await_sync(self) -> None:
+        if self._sync_task is not None:
+            await self._sync_task
+            self._sync_task = None
+
+    async def _commit(self) -> None:
+        """One group commit: sync every index mutated since the last.
+
+        Runs on the executor so the event loop (and the read lanes)
+        keep serving.  A failed commit re-queues its batches — the next
+        cadence point retries them.
+        """
+        batches = self._unsynced_batches
+        names = sorted(self._unsynced_indexes)
+        self._unsynced_batches = 0
+        self._unsynced_indexes.clear()
+        started = time.perf_counter()
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                functools.partial(self._sync_indexes, names),
+            )
+        except Exception:
+            self.stats.commit_failures += 1
+            self._unsynced_batches += batches
+            self._unsynced_indexes.update(names)
+        else:
+            self.stats.commits += 1
+            self.stats.committed_batches += batches
+            self.stats.commit_seconds += time.perf_counter() - started
+        finally:
+            self._last_sync = time.perf_counter()
+
+    def _sync_indexes(self, names: list[str]) -> None:
+        for name in names:
+            sync = getattr(self._writer.indexes.get(name), "sync", None)
+            if sync is not None:
+                sync()
 
     async def _acquire_server(self) -> QueryServer:
         """Take an idle read server, waiting for one to free up."""
@@ -729,6 +884,38 @@ class AsyncQueryService:
             ("batches",),
             stats.batches,
         )
+        export(
+            registry.counter(
+                "repro_commits_total",
+                "Group commits executed (cadence + final at close)",
+            ).labels(),
+            ("commits",),
+            stats.commits,
+        )
+        export(
+            registry.counter(
+                "repro_commit_batches_total",
+                "Write batches made durable by group commits",
+            ).labels(),
+            ("commit_batches",),
+            stats.committed_batches,
+        )
+        export(
+            registry.counter(
+                "repro_commit_seconds_total",
+                "Seconds spent inside group commits (off the write window)",
+            ).labels(),
+            ("commit_seconds",),
+            stats.commit_seconds,
+        )
+        export(
+            registry.counter(
+                "repro_commit_failures_total",
+                "Group commits that raised (batches re-queued)",
+            ).labels(),
+            ("commit_failures",),
+            stats.commit_failures,
+        )
         depth = registry.gauge(
             "repro_queue_depth", "Requests queued per lane", ("lane",)
         )
@@ -771,7 +958,44 @@ class AsyncQueryService:
                 for i, load in enumerate(tree.shard_loads()):
                     shard_busy.labels(name, str(i)).set(load.busy_s)
                     shard_reads.labels(name, str(i)).set_total(load.reads)
+        self._snapshot_recovery_metrics(registry)
         self._snapshot_cache_metrics(registry)
+
+    def _snapshot_recovery_metrics(self, registry: MetricsRegistry) -> None:
+        """Export the ``repro_recovery_*`` families per index file.
+
+        Every file-backed store remembers how it was opened
+        (:class:`~repro.storage.filestore.RecoveryInfo`): the committed
+        epoch it recovered to, which of the two header slots carried it
+        (``-1`` for a legacy v1 file), and how many trailing physical
+        blocks of uncommitted shadow writes the open rolled back.
+        Constant per open, so dashboards see at a glance whether the
+        last process death cost anything (it never costs more than the
+        un-synced tail) and which commit lineage is serving.
+        """
+        epoch = registry.gauge(
+            "repro_recovery_epoch",
+            "Committed epoch the index file recovered to at open",
+            ("index", "shard"),
+        )
+        slot = registry.gauge(
+            "repro_recovery_header_slot",
+            "Header slot that carried the recovered epoch (-1: legacy v1)",
+            ("index", "shard"),
+        )
+        rolled = registry.gauge(
+            "repro_recovery_rolled_back_blocks",
+            "Uncommitted physical blocks discarded by rollback at open",
+            ("index", "shard"),
+        )
+        for name, tree in self._writer.indexes.items():
+            for shard, store in _page_stores(tree):
+                info = getattr(store.file_store, "recovery", None)
+                if info is None:
+                    continue
+                epoch.labels(name, shard).set(info.epoch)
+                slot.labels(name, shard).set(info.header_slot)
+                rolled.labels(name, shard).set(info.rolled_back_blocks)
 
     def _snapshot_cache_metrics(self, registry: MetricsRegistry) -> None:
         """Export the ``repro_cache_*`` families per index page store.

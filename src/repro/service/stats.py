@@ -180,6 +180,18 @@ class ServiceStats:
     #: run.  Zero until a batch with page-cache traffic is observed.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Group commits executed (``sync_every_n``/``sync_interval_s``
+    #: cadence plus the final commit at close) and the write batches
+    #: they made durable; ``sync_writes=True`` commits inline instead
+    #: and leaves these at zero.
+    commits: int = 0
+    committed_batches: int = 0
+    #: Seconds spent inside group commits, total — off the write
+    #: window, so this is concurrent-with-reads time, not stall.
+    commit_seconds: float = 0.0
+    #: Group commits that raised (the dirty batches stay pending and
+    #: the next cadence point retries).
+    commit_failures: int = 0
 
     @property
     def rejected(self) -> int:

@@ -6,9 +6,15 @@ byte-exact node layout (36-byte entries in 4 KB blocks, paper Section
 3.1) is not just validated but actually served from a file:
 
 * :class:`repro.storage.filestore.FileBlockStore` — fixed-size byte
-  blocks in a single index file (superblock + intrusive freelist), with
-  the same API surface and :class:`~repro.iomodel.counters.IOCounters`
-  accounting as the simulated store.
+  blocks in a single index file (shadow-paged behind two checksummed,
+  alternating header slots, so every ``sync`` is an atomic commit),
+  with the same API surface and
+  :class:`~repro.iomodel.counters.IOCounters` accounting as the
+  simulated store.
+* :class:`repro.storage.faults.FaultInjector` /
+  :class:`repro.storage.faults.FaultInjectingStore` — deterministic
+  crash/torn-write/bit-flip injection on the physical write path, the
+  machinery behind the crash-recovery matrix (``tools/crashtest.py``).
 * :class:`repro.storage.paged.PagedNodeStore` — a bounded LRU page
   cache that decodes nodes lazily through the codec, presenting the
   block-store protocol with :class:`~repro.rtree.node.Node` payloads.
@@ -29,7 +35,12 @@ The on-disk formats are specified byte-for-byte in
 pinned down in ``docs/io-accounting.md``.
 """
 
-from repro.storage.filestore import FileBlockStore, StorageError
+from repro.storage.faults import (
+    FaultInjectingStore,
+    FaultInjector,
+    SimulatedCrash,
+)
+from repro.storage.filestore import FileBlockStore, RecoveryInfo, StorageError
 from repro.storage.paged import (
     DEFAULT_CACHE_PAGES,
     PackStats,
@@ -55,6 +66,10 @@ from repro.storage.shard import (
 __all__ = [
     "FileBlockStore",
     "StorageError",
+    "RecoveryInfo",
+    "FaultInjector",
+    "FaultInjectingStore",
+    "SimulatedCrash",
     "PagedNodeStore",
     "PagedTree",
     "PageCacheStats",

@@ -48,6 +48,7 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping
@@ -58,12 +59,15 @@ from repro.iomodel.counters import IOCounters
 from repro.iomodel.store import BlockId
 from repro.obs.cachestats import ReuseDistanceTracker
 from repro.obs.tap import IOTap, active_tap
+from repro.obs.trace import current_trace
 from repro.rtree.node import Node, NodeFrame
 from repro.rtree.persist import PersistError
 from repro.rtree.tree import RTree
+from repro.storage.faults import FaultInjector
 from repro.storage.filestore import (
     FileBlockStore,
     HEADER_REGION,
+    RecoveryInfo,
     StorageError,
 )
 
@@ -495,10 +499,13 @@ class _CallableValues(Mapping):
 class PackStats:
     """What :func:`pack_tree` wrote.
 
-    ``file_bytes`` counts the header region plus every block, i.e. the
-    exact on-disk size of the index file.  ``write_ios`` /
-    ``seq_writes`` are the pack-time accounting: packing emits one block
-    write per node, all but the first sequential.
+    ``file_bytes`` counts the header region plus every physical block —
+    node data *and* the committed shadow map — i.e. the exact on-disk
+    size of the index file.  ``write_ios`` / ``seq_writes`` are the
+    pack-time accounting: packing emits one block write per node, all
+    but the first sequential.  ``commit_epoch`` is the store epoch the
+    pack committed at (the sharded manifest records it per shard so a
+    family can be rolled back to a consistent cut).
     """
 
     n_blocks: int
@@ -508,6 +515,7 @@ class PackStats:
     size: int
     write_ios: int
     seq_writes: int
+    commit_epoch: int = 0
 
 
 def pack_tree(
@@ -558,7 +566,9 @@ def pack_tree(
                 ]
             file_store.allocate(codec.encode(node.is_leaf, entries))
         n_blocks = file_store.allocated_ever
-        file_bytes = HEADER_REGION + n_blocks * block_size
+        file_store.flush()  # commit, so the file size below is final
+        file_bytes = file_store.file_bytes()
+        commit_epoch = file_store.commit_epoch
         write_ios = file_store.counters.writes
         seq_writes = file_store.counters.seq_writes
     return PackStats(
@@ -569,6 +579,7 @@ def pack_tree(
         size=tree.size,
         write_ios=write_ios,
         seq_writes=seq_writes,
+        commit_epoch=commit_epoch,
     )
 
 
@@ -621,6 +632,8 @@ class PagedTree(RTree):
         readonly: bool = False,
         mmap: bool = False,
         cache_analytics: bool = False,
+        injector: "FaultInjector | None" = None,
+        at_epoch: int | None = None,
     ) -> "PagedTree":
         """Open a :func:`pack_tree` index file without reading the tree.
 
@@ -651,9 +664,22 @@ class PagedTree(RTree):
             page store (budgets bracketing ``cache_pages``): miss-ratio
             curves, frequency histograms and working-set estimates at
             the cost of a few dict operations per counted read.
+        injector:
+            Optional :class:`~repro.storage.faults.FaultInjector` wired
+            onto the store's physical write path (crash testing).
+        at_epoch:
+            Pin the open to a specific committed store epoch instead of
+            the newest valid one (sharded-family rollback; see
+            :meth:`~repro.storage.filestore.FileBlockStore.open`).
         """
+        opened_at = time.perf_counter()
         file_store = FileBlockStore.open(
-            path, counters=counters, readonly=readonly, mmap=mmap
+            path,
+            counters=counters,
+            readonly=readonly,
+            mmap=mmap,
+            injector=injector,
+            at_epoch=at_epoch,
         )
         try:
             meta = file_store.metadata
@@ -674,6 +700,20 @@ class PagedTree(RTree):
         except Exception:
             file_store.close()
             raise
+        trace = current_trace()
+        if trace is not None:
+            info = file_store.recovery
+            trace.add_span(
+                "recovery",
+                opened_at,
+                time.perf_counter(),
+                cat="storage",
+                file=str(path),
+                epoch=info.epoch,
+                header_slot=info.header_slot,
+                rolled_back_blocks=info.rolled_back_blocks,
+                legacy=info.legacy,
+            )
         tracker = (
             ReuseDistanceTracker(capacity=max(1, cache_pages))
             if cache_analytics
@@ -709,6 +749,13 @@ class PagedTree(RTree):
     def readonly(self) -> bool:
         """True when the index file was opened without write access."""
         return self.page_store.readonly
+
+    @property
+    def recovery(self) -> RecoveryInfo:
+        """What opening the store recovered (epoch, header slot chosen,
+        rolled-back physical blocks) — exported as ``repro_recovery_*``
+        metrics by the serving layer."""
+        return self.page_store.file_store.recovery
 
     # -- write path ----------------------------------------------------
 
@@ -747,14 +794,16 @@ class PagedTree(RTree):
         return super().delete(rect, value)
 
     def sync(self) -> int:
-        """Flush dirty pages and rewrite the tree descriptor atomically.
+        """Flush dirty pages and commit the file atomically.
 
-        Every dirty page is encoded and written back (in block order),
-        then the header — including the ``root_id``/``height``/``size``
-        descriptor, the freelist head and the live-block count — is
-        rewritten in a single header-region write.  Returns the number
-        of pages flushed.  A read-only handle has nothing to flush and
-        returns 0.
+        Every dirty page is encoded and written back (in block order)
+        to *fresh* physical slots, then the store's :meth:`flush`
+        publishes pages, freelist and the
+        ``root_id``/``height``/``size`` descriptor together with a
+        single checksummed header-slot write — every sync is an atomic
+        commit point a crash rolls back to (see ``docs/durability.md``).
+        Returns the number of pages flushed.  A read-only handle has
+        nothing to flush and returns 0.
         """
         if self.readonly:
             return 0
@@ -777,7 +826,7 @@ class PagedTree(RTree):
     def close(self) -> None:
         """Sync pending writes and close the index file (idempotent)."""
         file_store = self.page_store.file_store
-        if not file_store.closed and not self.readonly:
+        if not file_store.closed and not self.readonly and not file_store.crashed:
             self.sync()
         file_store.close()
 

@@ -71,6 +71,7 @@ from repro.queries.point import PointQueryEngine
 from repro.rtree.node import Node
 from repro.rtree.query import QueryEngine, QueryStats
 from repro.rtree.tree import RTree
+from repro.storage.faults import FaultInjector, SimulatedCrash
 from repro.storage.filestore import StorageError
 from repro.storage.paged import (
     DEFAULT_CACHE_PAGES,
@@ -96,8 +97,14 @@ __all__ = [
 
 #: The manifest's ``format`` field; rejects arbitrary JSON files early.
 MANIFEST_FORMAT = "repro-shards"
-#: Manifest schema version this module reads and writes.
-MANIFEST_VERSION = 1
+#: Manifest schema version this module writes.  Version 2 adds a
+#: family ``generation`` stamp and a per-shard committed store
+#: ``epoch``, so a crash between shard syncs and the manifest rewrite
+#: recovers to the consistent family cut the manifest names.
+MANIFEST_VERSION = 2
+#: Versions this module still reads (1 predates the shadow-header
+#: store; its shards open at their newest valid epoch).
+MANIFEST_VERSIONS_READ = (1, 2)
 
 
 class ShardError(StorageError):
@@ -118,7 +125,10 @@ class ShardInfo:
     family in shard order.  ``mbr`` is the shard's root MBR at the last
     sync (``None`` for an empty shard) — query fan-out uses the *live*
     root MBR, the manifest copy exists so opening can cross-check the
-    file against the manifest.
+    file against the manifest.  ``epoch`` is the store commit epoch the
+    shard held when the manifest was written; opening pins each shard to
+    it, rolling back any shard commit the manifest never acknowledged
+    (0 for legacy version-1 manifests: open the newest valid epoch).
     """
 
     file: str
@@ -128,6 +138,7 @@ class ShardInfo:
     hilbert_lo: int
     hilbert_hi: int
     n_blocks: int
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -172,11 +183,32 @@ def _rect_from_json(obj: Any, where: str) -> Rect | None:
         raise ShardError(f"{where}: bad rectangle {obj!r}") from None
 
 
-def _atomic_write_text(path: pathlib.Path, text: str) -> None:
-    """Write ``text`` so readers see either the old or the new file."""
+def _atomic_write_text(
+    path: pathlib.Path, text: str, injector: "FaultInjector | None" = None
+) -> None:
+    """Write ``text`` so readers see either the old or the new file.
+
+    With a fault injector attached, the temp-file write is one
+    injectable physical write (it can be torn or dropped) and the
+    ``os.replace`` is one injectable *atomic commit event* — a scripted
+    crash lands either before the rename (old file survives) or after
+    it (new file is durable), never in between.
+    """
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
+    data = text.encode("utf-8")
+    if injector is None:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        return
+    try:
+        data = injector.filter(str(tmp), data)
+    except SimulatedCrash as crash:
+        if crash.partial_data:
+            tmp.write_bytes(crash.partial_data)
+        raise
+    tmp.write_bytes(data)
+    with injector.commit_event("manifest"):
+        os.replace(tmp, path)
 
 
 def _shard_file_name(manifest: pathlib.Path, index: int, total: int) -> str:
@@ -252,6 +284,7 @@ def shard_pack(
                 hilbert_lo=chunk[0][0] if chunk else 0,
                 hilbert_hi=chunk[-1][0] if chunk else 0,
                 n_blocks=stats.n_blocks,
+                epoch=stats.commit_epoch,
             )
         )
 
@@ -319,10 +352,13 @@ def _write_manifest(
     next_oid: int,
     bounds: Rect | None,
     infos: Sequence[ShardInfo],
+    generation: int = 0,
+    injector: "FaultInjector | None" = None,
 ) -> None:
     doc = {
         "format": MANIFEST_FORMAT,
         "version": MANIFEST_VERSION,
+        "generation": generation,
         "dim": dim,
         "fanout": fanout,
         "block_size": block_size,
@@ -340,11 +376,14 @@ def _write_manifest(
                 "hilbert_lo": info.hilbert_lo,
                 "hilbert_hi": info.hilbert_hi,
                 "n_blocks": info.n_blocks,
+                "epoch": info.epoch,
             }
             for info in infos
         ],
     }
-    _atomic_write_text(path, json.dumps(doc, indent=2) + "\n")
+    _atomic_write_text(
+        path, json.dumps(doc, indent=2) + "\n", injector=injector
+    )
 
 
 def _load_manifest(path: pathlib.Path) -> dict:
@@ -362,7 +401,7 @@ def _load_manifest(path: pathlib.Path) -> dict:
             f"{path} is not a shard manifest (missing format "
             f"{MANIFEST_FORMAT!r})"
         )
-    if doc.get("version") != MANIFEST_VERSION:
+    if doc.get("version") not in MANIFEST_VERSIONS_READ:
         raise ShardError(
             f"{path}: unsupported manifest version {doc.get('version')!r}"
         )
@@ -496,6 +535,8 @@ class ShardedTree:
         next_oid: int,
         bounds: Rect | None,
         readonly: bool,
+        generation: int = 0,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.path = path
         self.shards = shards
@@ -506,6 +547,8 @@ class ShardedTree:
         self.order = order
         self.size = size
         self.bounds = bounds
+        self.generation = generation
+        self._injector = injector
         self._next_oid = max(next_oid, size)
         self._readonly = readonly
         self._route_his = [info.hilbert_hi for info in infos]
@@ -528,6 +571,7 @@ class ShardedTree:
         readonly: bool = False,
         mmap: bool = False,
         cache_analytics: bool = False,
+        injector: FaultInjector | None = None,
     ) -> "ShardedTree":
         """Open a :func:`shard_pack` manifest and every shard it names.
 
@@ -551,11 +595,18 @@ class ShardedTree:
         cache_analytics:
             Attach a reuse-distance tracker to **each shard's** page
             store (see :meth:`~repro.storage.paged.PagedTree.open`).
+        injector:
+            Optional :class:`~repro.storage.faults.FaultInjector`
+            shared by every shard store *and* the manifest writes —
+            one injector models one process (crash testing).
 
         Raises :class:`ShardError` when the manifest is corrupt, a shard
         file is missing, or a shard file disagrees with the manifest
         (dim/fanout/size/MBR) — a family must be opened exactly as it
-        was synced.
+        was synced.  A version-2 manifest pins each shard to the store
+        epoch recorded for it, so a crash that flipped some shards but
+        never rewrote the manifest rolls the whole family back to the
+        manifest's consistent cut.
         """
         manifest_path = pathlib.Path(path)
         doc = _load_manifest(manifest_path)
@@ -575,6 +626,7 @@ class ShardedTree:
                         hilbert_lo=entry["hilbert_lo"],
                         hilbert_hi=entry["hilbert_hi"],
                         n_blocks=entry["n_blocks"],
+                        epoch=entry.get("epoch", 0),
                     )
                 except (TypeError, KeyError) as exc:
                     raise ShardError(
@@ -589,6 +641,13 @@ class ShardedTree:
                         readonly=readonly,
                         mmap=mmap,
                         cache_analytics=cache_analytics,
+                        injector=injector,
+                        # A v2 manifest names the epoch it acknowledged;
+                        # pin the shard there so commits the manifest
+                        # never saw are rolled back with the family.
+                        at_epoch=(
+                            info.epoch if doc["version"] >= 2 else None
+                        ),
                     )
                 except StorageError as exc:
                     raise ShardError(f"{where}: {exc}") from None
@@ -617,6 +676,8 @@ class ShardedTree:
             next_oid=doc["next_oid"],
             bounds=bounds,
             readonly=readonly,
+            generation=doc.get("generation", 0),
+            injector=injector,
         )
 
     @staticmethod
@@ -822,22 +883,34 @@ class ShardedTree:
     def sync(self) -> int:
         """Flush every dirty shard, then rewrite the manifest atomically.
 
-        Each shard's :meth:`~repro.storage.paged.PagedTree.sync` flushes
-        its dirty pages and rewrites its descriptor; the manifest is
-        then replaced in one ``os.replace`` with the family's current
-        sizes, heights and MBRs — either the old family or the new one
-        is on disk, never a mix.  Returns total pages flushed; a
-        read-only family returns 0.
+        Each shard's :meth:`~repro.storage.paged.PagedTree.sync` is an
+        atomic per-file commit (shadow pages + one header-slot flip);
+        the manifest is then replaced in one ``os.replace`` recording
+        the family's sizes, heights, MBRs, each shard's committed epoch
+        and a bumped ``generation`` — either the old family or the new
+        one is on disk, never a mix, and a crash after some shard flips
+        but before the rename rolls the family back to the manifest's
+        epochs on reopen.  Returns total pages flushed; a read-only
+        family returns 0.  A sync with nothing new to commit (no shard
+        epoch moved since the manifest was last written) skips the
+        rewrite, so ``close()`` right after a ``sync()`` does not burn
+        a generation.
         """
         if self._readonly:
             return 0
         flushed = sum(shard.sync() for shard in self.shards)
+        if [info.epoch for info in self.infos] == [
+            shard.page_store.file_store.commit_epoch for shard in self.shards
+        ]:
+            return flushed
+        self.generation += 1
         self.infos = [
             replace(
                 info,
                 size=shard.size,
                 height=shard.height,
                 mbr=self.shard_mbr(i),
+                epoch=shard.page_store.file_store.commit_epoch,
             )
             for i, (info, shard) in enumerate(zip(self.infos, self.shards))
         ]
@@ -851,6 +924,8 @@ class ShardedTree:
             next_oid=self._next_oid,
             bounds=self.bounds,
             infos=self.infos,
+            generation=self.generation,
+            injector=self._injector,
         )
         return flushed
 
@@ -858,7 +933,8 @@ class ShardedTree:
         """Sync pending writes and close every shard (idempotent)."""
         if self._closed:
             return
-        if not self._readonly:
+        crashed = self._injector is not None and self._injector.crashed
+        if not self._readonly and not crashed:
             self.sync()
         with self._pool_lock:
             if self._pool is not None:
@@ -924,6 +1000,7 @@ def open_index(
     readonly: bool = False,
     mmap: bool = False,
     cache_analytics: bool = False,
+    injector: FaultInjector | None = None,
 ) -> PagedTree | ShardedTree:
     """Open a packed index, whatever its shape.
 
@@ -931,7 +1008,8 @@ def open_index(
     :class:`ShardedTree`; anything else is treated as a single
     :func:`~repro.storage.paged.pack_tree` file and opens as a
     :class:`~repro.storage.paged.PagedTree`.  ``mmap=True`` serves the
-    file(s) from memory mappings.
+    file(s) from memory mappings; ``injector`` attaches a fault
+    injector to every store the open touches (crash testing).
     """
     resolved = pathlib.Path(path)
     if not resolved.exists():
@@ -946,6 +1024,7 @@ def open_index(
             readonly=readonly,
             mmap=mmap,
             cache_analytics=cache_analytics,
+            injector=injector,
         )
     return PagedTree.open(
         resolved,
@@ -954,6 +1033,7 @@ def open_index(
         readonly=readonly,
         mmap=mmap,
         cache_analytics=cache_analytics,
+        injector=injector,
     )
 
 

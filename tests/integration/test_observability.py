@@ -32,6 +32,7 @@ from repro.obs import (
     SlowQueryLog,
     TraceWriter,
     Tracer,
+    activate_trace,
     check_span_nesting,
     load_trace_events,
 )
@@ -209,9 +210,39 @@ class TestEndToEndTracing:
         assert "repro_requests_completed_total 150" in text
         assert "repro_index_logical_ios_total" in text
 
+    def test_recovery_metrics_exported_per_index_file(self, run):
+        # The durability layer's open-time facts (docs/durability.md)
+        # ride along on every metrics snapshot: which epoch the file
+        # recovered to, which header slot carried it, and how many
+        # uncommitted shadow blocks rollback discarded.
+        _, _, registry, *_ = run
+        text = registry.render_prometheus()
+        labels = '{index="default",shard="-"}'
+        assert f"repro_recovery_epoch{labels}" in text
+        assert f"repro_recovery_header_slot{labels}" in text
+        assert f"repro_recovery_rolled_back_blocks{labels} 0" in text
+
     def test_slow_log_saw_every_completion(self, run):
         *_, slow_log, _, _ = run
         assert slow_log.total == 150
         record = slow_log.records()[-1]
         assert record.io is not None
         assert record.trace_id is not None
+
+
+class TestRecoverySpan:
+    def test_open_records_a_recovery_span(self, index_path):
+        """A traced open reports its recovery verdict as a span."""
+        tracer = Tracer(sample_rate=1.0, keep_finished=True)
+        trace = tracer.begin("open", kind="admin")
+        with activate_trace(trace):
+            PagedTree.open(index_path, cache_pages=8).close()
+        tracer.finish(trace)
+        spans = [s for s in trace.spans if s.name == "recovery"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.cat == "storage"
+        assert span.args["epoch"] >= 1  # pack_tree commits at least once
+        assert span.args["header_slot"] in (0, 1)
+        assert span.args["rolled_back_blocks"] == 0  # clean shutdown
+        assert span.args["legacy"] is False

@@ -338,3 +338,146 @@ class TestLifecycle:
             AsyncQueryService(tree, admission="maybe")
         with pytest.raises(ValueError):
             AsyncQueryService(tree, executor_workers=0)
+
+
+class TestGroupCommit:
+    """Group commit: durability cadence decoupled from write batches.
+
+    ``sync_writes=True`` stalls every write batch on an fsync;
+    ``sync_every_n`` / ``sync_interval_s`` instead commit the mutated
+    indexes off the exclusive write window (docs/durability.md).  These
+    tests pin the cadence, the final commit at close, and the knobs'
+    mutual exclusion — against a real file-backed index, whose
+    ``commit_epoch`` counts exactly the commits that reached disk.
+    """
+
+    @pytest.fixture
+    def packed(self, tmp_path, data):
+        from repro.storage import pack_tree
+
+        oracle = build_prtree(BlockStore(), data, fanout=16)
+        path = tmp_path / "gc.pack"
+        pack_tree(oracle, path)
+        return path, dict(oracle.objects)
+
+    @staticmethod
+    def _insert(i):
+        return InsertRequest(Rect((2.0 + i, 2.0), (2.1 + i, 2.1)), 9_000 + i)
+
+    def test_sync_writes_excludes_group_commit(self, tree):
+        with pytest.raises(ValueError, match="group commit"):
+            AsyncQueryService(tree, sync_writes=True, sync_every_n=4)
+        with pytest.raises(ValueError, match="group commit"):
+            AsyncQueryService(tree, sync_writes=True, sync_interval_s=1.0)
+        with pytest.raises(ValueError):
+            AsyncQueryService(tree, sync_every_n=0)
+        with pytest.raises(ValueError):
+            AsyncQueryService(tree, sync_interval_s=0.0)
+
+    def test_every_n_batches_commits(self, packed):
+        from repro.storage import PagedTree
+
+        path, values = packed
+
+        async def main(paged):
+            service = AsyncQueryService(
+                paged, max_batch=4, flush_interval=0.0, sync_every_n=2
+            )
+            async with service:
+                for i in range(4):  # awaited singly: four write batches
+                    await service.submit(self._insert(i))
+            return service.stats
+
+        paged = PagedTree.open(path, values=values)
+        try:
+            stats = run(main(paged))
+        finally:
+            paged.close()
+        # Two cadence commits (after batches 2 and 4); close found
+        # nothing left to flush.
+        assert stats.commits == 2
+        assert stats.committed_batches == 4
+        assert stats.commit_failures == 0
+
+        with PagedTree.open(path, readonly=True) as survivor:
+            assert survivor.size == len(values) + 4
+            # pack epoch + exactly the two group commits
+            assert survivor.page_store.file_store.commit_epoch == 3
+
+    def test_close_commits_the_tail(self, packed):
+        from repro.storage import PagedTree
+
+        path, values = packed
+
+        async def main(paged):
+            service = AsyncQueryService(
+                paged, max_batch=4, flush_interval=0.0, sync_every_n=100
+            )
+            async with service:
+                for i in range(3):
+                    await service.submit(self._insert(i))
+            return service.stats
+
+        paged = PagedTree.open(path, values=values)
+        try:
+            stats = run(main(paged))
+        finally:
+            paged.close()
+        assert stats.commits == 1  # only the final commit at close
+        assert stats.committed_batches == 3
+        with PagedTree.open(path, readonly=True) as survivor:
+            assert survivor.size == len(values) + 3
+
+    def test_interval_cadence_fires_while_idle(self, packed):
+        from repro.storage import PagedTree
+
+        path, values = packed
+
+        async def main(paged):
+            service = AsyncQueryService(
+                paged,
+                max_batch=4,
+                flush_interval=0.0,
+                sync_interval_s=0.05,
+            )
+            async with service:
+                await service.submit(self._insert(0))
+                for _ in range(40):  # idle: the timer must fire alone
+                    await asyncio.sleep(0.025)
+                    if service.stats.commits:
+                        break
+                mid_run_commits = service.stats.commits
+            return mid_run_commits, service.stats
+
+        paged = PagedTree.open(path, values=values)
+        try:
+            mid_run_commits, stats = run(main(paged))
+        finally:
+            paged.close()
+        assert mid_run_commits >= 1  # fired before close, not at it
+        assert stats.committed_batches == 1
+
+    def test_reads_are_never_stalled_by_cadence(self, packed):
+        from repro.storage import PagedTree
+
+        path, values = packed
+        window = Rect((0.0, 0.0), (1.0, 1.0))
+
+        async def main(paged):
+            service = AsyncQueryService(
+                paged, max_batch=8, flush_interval=0.0, sync_every_n=1
+            )
+            async with service:
+                for i in range(3):
+                    await service.submit(self._insert(i))
+                    response = await service.submit(WindowRequest(window))
+                    assert len(response.value) == len(values)
+            return service.stats
+
+        paged = PagedTree.open(path, values=values)
+        try:
+            stats = run(main(paged))
+        finally:
+            paged.close()
+        assert stats.commits == 3
+        assert stats.completed == 6

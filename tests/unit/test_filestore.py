@@ -1,6 +1,7 @@
 """Unit tests for the on-disk file block store."""
 
 import struct
+import zlib
 
 import pytest
 
@@ -10,6 +11,7 @@ from repro.iomodel.store import BlockStoreProtocol
 from repro.storage.filestore import (
     FileBlockStore,
     HEADER_REGION,
+    HEADER_SLOT,
     META_CAPACITY,
     StorageError,
 )
@@ -264,8 +266,13 @@ class TestReopen:
         with FileBlockStore.create(path, block_size=64) as store:
             store.allocate(b"x")
         raw = bytearray(path.read_bytes())
-        # block_size is the I field right after magic + version.
-        struct.pack_into("<I", raw, 6, 0)
+        # Zero the block_size field (the I right after magic + version)
+        # in *both* header slots, recomputing each slot's checksum so
+        # the sanity check — not the checksum — is what rejects it.
+        for base in (0, HEADER_SLOT):
+            struct.pack_into("<I", raw, base + 6, 0)
+            crc = zlib.crc32(bytes(raw[base : base + HEADER_SLOT - 4]))
+            struct.pack_into("<I", raw, base + HEADER_SLOT - 4, crc)
         path.write_bytes(bytes(raw))
         with pytest.raises(StorageError, match="block size"):
             FileBlockStore.open(path)

@@ -36,11 +36,14 @@ def packed(tmp_path):
 
 class TestPackTree:
     def test_stats_match_tree(self, packed):
-        tree, _, stats, _ = packed
+        tree, path, stats, _ = packed
         assert stats.n_blocks == tree.node_count()
         assert stats.size == tree.size
         assert stats.height == tree.height
-        assert stats.file_bytes == 4096 + stats.n_blocks * 4096
+        # Node blocks plus the committed shadow map, matching the file.
+        assert stats.file_bytes > 4096 + stats.n_blocks * 4096
+        assert stats.file_bytes == path.stat().st_size
+        assert stats.commit_epoch == 1
 
     def test_pack_is_sequential_io(self, tmp_path):
         data = random_rects(300, seed=22)
