@@ -70,9 +70,12 @@ def test_observability_overhead(benchmark, record_table):
             )
             profiled = _throughput(index, profile=tmpdir / "p.collapsed")
             ghost = _throughput(index, cache_analytics=True)
-            return off, traced, full, profiled, ghost
+            explained = _throughput(index, explain=True)
+            return off, traced, full, profiled, ghost, explained
 
-        off, traced, full, profiled, ghost = run_once(benchmark, measure)
+        off, traced, full, profiled, ghost, explained = run_once(
+            benchmark, measure
+        )
 
     table = Table(
         title=f"observability overhead: serve-bench, {REQUESTS} requests",
@@ -83,6 +86,7 @@ def test_observability_overhead(benchmark, record_table):
     table.add_row("trace+metrics+slowlog", full, full / off)
     table.add_row("profiler 5ms", profiled, profiled / off)
     table.add_row("ghost cache", ghost, ghost / off)
+    table.add_row("explain plans", explained, explained / off)
     table.add_note(
         "off = no tracer/profiler/tracker installed (the shipping "
         "default): the hot path's only obs cost is a contextvar read "
@@ -93,6 +97,12 @@ def test_observability_overhead(benchmark, record_table):
         "profiler 5ms = wall-clock sampling profiler attributing stacks "
         "to serving phases; ghost cache = reuse-distance tracker on "
         "every page-table lookup (miss-ratio curve + working sets)"
+    )
+    table.add_note(
+        "explain plans = per-request EXPLAIN capture (per-level visit "
+        "counters + plan objects); disables window batching.  With "
+        "explain off the server pays one boolean check per request and "
+        "the plan field stays None — the disabled path is the 'off' row"
     )
     table.add_note(
         f"median of {RUNS} runs per config over one shared packed index "
@@ -110,3 +120,6 @@ def test_observability_overhead(benchmark, record_table):
     # must stay far cheaper than full tracing.
     assert profiled > 0.5 * off
     assert ghost > 0.5 * off
+    # Plan capture is pure in-memory counter work on nodes the query
+    # already read; it must stay far cheaper than 100% tracing.
+    assert explained > 0.4 * off

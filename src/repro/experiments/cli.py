@@ -15,6 +15,9 @@ Usage (installed or from a checkout)::
     python -m repro trace out.jsonl --requests 200 --rate 500
     python -m repro profile out.collapsed --requests 400 --shards 4
     python -m repro cache-report --cache-pages 64 --requests 2000
+    python -m repro health --index index.pack
+    python -m repro health --index index.pack --score-only
+    python -m repro explain --index index.pack --kind window --queries 8
     python -m repro update-bench --updates 1000 --n 20000
     python -m repro crash-bench --variants file,shard --stride 2
 
@@ -31,7 +34,12 @@ Perfetto (and exits non-zero when the capture fails its own health
 checks — span nesting, full request coverage); ``profile`` captures a
 collapsed-stack CPU profile attributed to serving phases;
 ``cache-report`` tabulates the ghost-LRU what-if analytics of the page
-cache; ``crash-bench`` runs the crash-recovery matrix of
+cache; ``health`` runs the cache-neutral tree-quality walk and reports
+the degradation score against the pack-time baseline
+(``--score-only`` prints just the number for scripting); ``explain``
+runs a small workload with per-query plan capture and renders the
+plans (``docs/observability.md``); ``crash-bench`` runs the
+crash-recovery matrix of
 ``tools/crashtest.py`` (kill at every write offset, reopen, require the
 last committed state back — exit 1 on any failure);
 ``update-bench`` measures dynamic inserts/deletes on a packed
@@ -66,6 +74,9 @@ from repro.experiments.report import Table
 from repro.experiments.serving import (
     DATASETS,
     cache_report,
+    explain_report,
+    health_report,
+    health_score,
     pack_index,
     profile_capture,
     serve_async_bench,
@@ -299,6 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
             "set-at-a-time per decoded page (docs/query-engine.md)"
         ),
     )
+    serve.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "arm per-request plan capture: footnotes digest mean "
+            "pruning efficiency per kind (disables --batch-windows)"
+        ),
+    )
     _add_serving_index_args(serve, profile=True)
 
     serve_async = sub.add_parser(
@@ -410,6 +429,25 @@ def build_parser() -> argparse.ArgumentParser:
             "decoded page in the read servers (docs/query-engine.md)"
         ),
     )
+    serve_async.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "arm per-request plan capture: repro_explain_* metric "
+            "families and plan summaries on slow-log entries"
+        ),
+    )
+    serve_async.add_argument(
+        "--health-interval",
+        dest="health_interval",
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "export the repro_health_* tree-quality families with each "
+            "metrics snapshot, re-walking the index at most every "
+            "SECONDS seconds"
+        ),
+    )
     _add_serving_index_args(serve_async, profile=True)
 
     trace = sub.add_parser(
@@ -497,6 +535,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="request-group threads"
     )
     _add_serving_index_args(cache, obs=False, metrics=False)
+
+    health = sub.add_parser(
+        "health",
+        help=(
+            "tree-quality analytics for a packed index: per-level "
+            "occupancy/overlap/dead space and the degradation score "
+            "against the pack-time baseline"
+        ),
+    )
+    health.add_argument(
+        "--index",
+        type=pathlib.Path,
+        required=True,
+        help="a `repro pack` output (single file or shard manifest)",
+    )
+    health.add_argument(
+        "--cache-pages",
+        dest="cache_pages",
+        type=int,
+        default=64,
+        help="decoded-page budget while walking (reads are quiet)",
+    )
+    health.add_argument(
+        "--mmap",
+        action="store_true",
+        help="open the index file(s) from memory mappings",
+    )
+    health.add_argument(
+        "--score-only",
+        dest="score_only",
+        action="store_true",
+        help=(
+            "print only the degradation score (or 'none' when the "
+            "index has no baseline) — for scripts and CI"
+        ),
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help=(
+            "run a small workload with per-query plan capture and "
+            "render the plans (nodes visited, pruning efficiency vs "
+            "the leaf-I/O lower bound, physical reads)"
+        ),
+    )
+    explain.add_argument(
+        "--kind",
+        default="window",
+        choices=["window", "count", "containment", "point", "knn", "mixed"],
+        help="request kind to explain (default window)",
+    )
+    explain.add_argument(
+        "--queries", type=int, default=8, help="requests to run"
+    )
+    explain.add_argument(
+        "--area-percent",
+        dest="area_percent",
+        type=float,
+        default=1.0,
+        help="query-window area as a percent of the data MBR",
+    )
+    explain.add_argument(
+        "--k", type=int, default=10, help="neighbors per kNN request"
+    )
+    _add_serving_index_args(explain, metrics=False)
 
     update = sub.add_parser(
         "update-bench",
@@ -696,6 +799,7 @@ def main(argv: list[str] | None = None) -> int:
             profile=args.profile,
             cache_analytics=args.cache_analytics,
             batch_windows=args.batch_windows,
+            explain=args.explain,
         )
         print(table.render())
         return 0
@@ -755,6 +859,8 @@ def main(argv: list[str] | None = None) -> int:
             cache_analytics=args.cache_analytics,
             metrics_port=args.metrics_port,
             batch_windows=args.batch_windows,
+            explain=args.explain,
+            health_interval=args.health_interval,
         )
         print(table.render())
         return 0
@@ -827,6 +933,42 @@ def main(argv: list[str] | None = None) -> int:
             mmap=args.mmap,
         )
         print(table.render())
+        return 0
+
+    if args.command == "health":
+        if args.score_only:
+            score = health_score(
+                args.index, cache_pages=args.cache_pages, mmap=args.mmap
+            )
+            print("none" if score is None else f"{score:.9f}")
+            return 0
+        table = health_report(
+            args.index, cache_pages=args.cache_pages, mmap=args.mmap
+        )
+        print(table.render())
+        return 0
+
+    if args.command == "explain":
+        table = explain_report(
+            index=args.index,
+            kind=args.kind,
+            queries=args.queries,
+            area_percent=args.area_percent,
+            k=args.k,
+            cache_pages=args.cache_pages,
+            variant=args.variant,
+            dataset=args.dataset,
+            n=args.n,
+            block_size=args.block_size,
+            seed=args.seed,
+            shards=args.shards,
+            mmap=args.mmap,
+            trace=args.trace,
+        )
+        print(table.render())
+        if args.trace is not None:
+            print(f"wrote {args.trace}")
+            return _check_trace_health(args.trace, args.queries, 1.0)
         return 0
 
     if args.command == "update-bench":

@@ -53,6 +53,7 @@ from repro.obs import (
     TraceWriter,
     Tracer,
 )
+from repro.obs import health
 from repro.rtree.query import QueryEngine
 from repro.rtree.validate import validate_rtree
 from repro.server import (
@@ -85,6 +86,8 @@ __all__ = [
     "trace_capture",
     "profile_capture",
     "cache_report",
+    "health_report",
+    "explain_report",
     "update_bench",
     "mixed_requests",
     "mixed_service_stream",
@@ -360,6 +363,7 @@ def serve_bench(
     profile: str | pathlib.Path | None = None,
     cache_analytics: bool = False,
     batch_windows: bool = False,
+    explain: bool = False,
 ) -> Table:
     """Drive a mixed batched workload through a paged index file.
 
@@ -393,6 +397,12 @@ def serve_bench(
     co-located window queries set-at-a-time against every decoded page
     (``docs/query-engine.md``) — results and per-request logical I/O
     stats are identical to solo execution.
+
+    ``explain=True`` arms per-request plan capture
+    (``repro.queries.explain``): every executed request carries a
+    :class:`~repro.queries.explain.QueryPlan` and the footnotes digest
+    the mean pruning efficiency per kind.  Explain disables window
+    batching (a shared traversal has no per-query plan).
     """
     tmpdir: tempfile.TemporaryDirectory | None = None
     writer, tracer = _make_tracer(trace, sample_rate, slow_ms)
@@ -423,7 +433,10 @@ def serve_bench(
             cache_analytics=cache_analytics,
         ) as tree:
             server = QueryServer(
-                tree, workers=workers, batch_windows=batch_windows
+                tree,
+                workers=workers,
+                batch_windows=batch_windows,
+                explain=explain,
             )
             bounds = tree.root().mbr()
             stream = mixed_requests(bounds, count=requests, seed=seed + 1)
@@ -444,6 +457,7 @@ def serve_bench(
             )
             run_stats = ServiceStats()
             totals = {"leaf": 0, "phys": 0, "lat": 0.0, "reqs": 0}
+            plan_totals: dict[str, list[float]] = {}
             profiler = (
                 SamplingProfiler() if profile is not None else None
             )
@@ -461,6 +475,17 @@ def serve_bench(
                     if batch_traces is not None:
                         for pending_trace in batch_traces:
                             tracer.finish(pending_trace)
+                    if explain:
+                        for result in report.results:
+                            plan = result.plan
+                            if plan is None or result.deduped:
+                                continue
+                            acc = plan_totals.setdefault(
+                                result.request.kind, [0, 0, 0.0]
+                            )
+                            acc[0] += 1
+                            acc[1] += plan.nodes_visited
+                            acc[2] += plan.pruning_efficiency
                     kind_latencies = report.kind_latencies()
                     batch_hist = LatencyHistogram()
                     for latencies in kind_latencies.values():
@@ -506,6 +531,12 @@ def serve_bench(
                     f"overall: {totals['reqs'] / totals['lat']:,.0f} req/s, "
                     f"{totals['leaf']} leaf I/Os, "
                     f"{totals['phys']} physical page reads"
+                )
+            for kind, (plans, nodes, eff_sum) in sorted(plan_totals.items()):
+                table.add_note(
+                    f"explain {kind}: {plans} plans, "
+                    f"{nodes / plans:.1f} nodes/query, "
+                    f"mean pruning efficiency {eff_sum / plans:.3f}"
                 )
             if sharded:
                 loads = tree.shard_loads()
@@ -644,6 +675,8 @@ def serve_async_bench(
     cache_analytics: bool = False,
     metrics_port: int | None = None,
     batch_windows: bool = False,
+    explain: bool = False,
+    health_interval: float | None = None,
 ) -> Table:
     """Open-loop latency-vs-arrival-rate sweep through the async service.
 
@@ -679,6 +712,12 @@ def serve_async_bench(
     the service's read servers (``docs/query-engine.md``) — coalesced
     window queries share each decoded page's kernel pass instead of
     re-traversing per request.
+
+    ``explain=True`` arms per-request plan capture in every engine —
+    the ``repro_explain_*`` families land in the metrics dump and slow
+    entries carry a plan summary.  ``health_interval`` (seconds) adds
+    the ``repro_health_*`` tree-quality families to each metrics
+    snapshot, re-walking at most that often (``docs/observability.md``).
     """
     tmpdir: tempfile.TemporaryDirectory | None = None
     writer, tracer = _make_tracer(trace, sample_rate, slow_ms)
@@ -751,6 +790,8 @@ def serve_async_bench(
                     metrics=registry,
                     slow_log=slow_log,
                     batch_windows=batch_windows,
+                    explain=explain,
+                    health_interval=health_interval,
                 )
                 stream = mixed_service_stream(
                     bounds,
@@ -1230,6 +1271,272 @@ def cache_report(
             )
             return table
     finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+
+def health_score(
+    index: str | pathlib.Path,
+    cache_pages: int = 64,
+    mmap: bool = False,
+) -> float | None:
+    """The index's degradation score against its pack-time baseline.
+
+    One quiet quality walk (:func:`repro.obs.health.index_quality`)
+    folded through :func:`repro.obs.health.degradation_score`.  None
+    when the index carries no baseline (packed before baselines existed
+    or with ``baseline=False``).
+    """
+    with open_index(
+        index, cache_pages=cache_pages, readonly=True, mmap=mmap
+    ) as tree:
+        quality, _ = health.index_quality(tree)
+        return health.degradation_score(
+            quality, getattr(tree, "health_baseline", None)
+        )
+
+
+def health_report(
+    index: str | pathlib.Path,
+    cache_pages: int = 64,
+    mmap: bool = False,
+) -> Table:
+    """Tree-quality analytics for a packed index (``repro health``).
+
+    Opens the index read-only and runs the cache-neutral quality walk
+    (:func:`repro.obs.health.index_quality` — quiet peeks only, so
+    neither :class:`~repro.storage.paged.PageCacheStats` nor the
+    ghost-LRU tracker move), tabulating per level the node and entry
+    counts, occupancy, sibling-MBR overlap, dead space and perimeter.
+    The footnotes carry the aggregate quality ratios, store
+    fragmentation, the per-shard balance of a sharded family, and —
+    when the index was packed with a baseline — the baseline itself and
+    the normalized degradation score that arms the self-maintenance
+    trigger (``docs/observability.md``).
+    """
+    with open_index(
+        index, cache_pages=cache_pages, readonly=True, mmap=mmap
+    ) as tree:
+        quality, per_shard = health.index_quality(tree)
+        sharded = isinstance(tree, ShardedTree)
+        table = Table(
+            title=(
+                f"index health: size={quality.size}, "
+                f"height={quality.height}, fanout={quality.fanout}, "
+                f"{quality.nodes} nodes"
+                + (f", {len(per_shard)} shards" if per_shard else "")
+            ),
+            headers=[
+                "level", "kind", "nodes", "entries", "occupancy",
+                "overlap_area", "dead_area", "perimeter",
+            ],
+        )
+        for lvl in quality.levels:
+            table.add_row(
+                lvl.level,
+                "leaf" if lvl.leaf
+                else ("root" if lvl.level == 0 else "internal"),
+                lvl.nodes,
+                lvl.entries,
+                lvl.occupancy,
+                lvl.overlap,
+                lvl.dead,
+                lvl.perimeter,
+            )
+        table.add_note(f"index: {index}")
+        table.add_note(
+            f"aggregate: leaf occupancy {quality.leaf_occupancy:.4f}, "
+            f"directory overlap ratio {quality.overlap_ratio:.6f}, "
+            f"dead-space ratio {quality.dead_ratio:.6f}, "
+            f"mean directory margin {quality.mean_margin:.4f}"
+        )
+        table.add_note(
+            f"store: {quality.free_blocks} freelist blocks, "
+            f"{quality.pending_reclaim} pending reclaim, "
+            f"fragmentation {quality.fragmentation:.4f}"
+        )
+        if sharded and per_shard:
+            table.add_note(
+                "per-shard size / leaf occupancy: "
+                + ", ".join(
+                    f"shard{i}: {q.size}/{q.leaf_occupancy:.3f}"
+                    for i, q in enumerate(per_shard)
+                )
+                + f" (imbalance {quality.imbalance:.4f})"
+            )
+        baseline = getattr(tree, "health_baseline", None)
+        score = health.degradation_score(quality, baseline)
+        if score is None:
+            table.add_note(
+                "no pack-time baseline recorded: degradation score "
+                "unavailable (re-pack to record one)"
+            )
+        else:
+            table.add_note(f"baseline: {baseline}")
+            table.add_note(
+                f"degradation score: {score:.6f} "
+                "(0 = freshly packed; weighted relative drift per "
+                "repro.obs.health.DEGRADATION_WEIGHTS)"
+            )
+        return table
+
+
+def explain_report(
+    index: str | pathlib.Path | None = None,
+    kind: str = "window",
+    queries: int = 8,
+    area_percent: float = 1.0,
+    k: int = 10,
+    cache_pages: int = 256,
+    variant: str = "PR",
+    dataset: str = "tiger-east",
+    n: int = 20_000,
+    fanout: int | None = None,
+    block_size: int = 4096,
+    seed: int = 0,
+    shards: int = 1,
+    mmap: bool = False,
+    trace: str | pathlib.Path | None = None,
+    sample_rate: float = 1.0,
+) -> Table:
+    """Per-query EXPLAIN plans for a workload (``repro explain``).
+
+    Runs ``queries`` requests of ``kind`` (``window``, ``count``,
+    ``containment``, ``point``, ``knn``, or ``mixed``) through a
+    :class:`~repro.server.QueryServer` armed with plan capture
+    (``explain=True``), one table row per executed request: nodes
+    visited, entries examined/pruned, leaf I/O against the paper's
+    ``ceil(T/B)`` lower bound, pruning efficiency, and attributed
+    physical reads.  The footnotes render the *worst* plan (lowest
+    pruning efficiency) as the full indented plan tree.
+
+    With ``index=None`` a temporary index is packed first (the usual
+    ``variant``/``dataset``/``n``/``shards`` knobs).  A sharded index
+    carries no per-query plan (each shard's engine traverses
+    independently) — the table then reports stats-only rows and says
+    so.  ``trace=OUT.jsonl`` additionally traces the run so ``repro
+    explain --trace`` can self-check span nesting.
+    """
+    tmpdir: tempfile.TemporaryDirectory | None = None
+    writer, tracer = _make_tracer(trace, sample_rate, None)
+    if index is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-explain-")
+        index = pathlib.Path(tmpdir.name) / (
+            "index.manifest" if shards > 1 else "index.pack"
+        )
+        pack_index(
+            index,
+            variant=variant,
+            dataset=dataset,
+            n=n,
+            fanout=fanout,
+            block_size=block_size,
+            seed=seed,
+            shards=shards,
+        )
+    try:
+        with open_index(
+            index, cache_pages=cache_pages, readonly=True, mmap=mmap
+        ) as tree:
+            server = QueryServer(tree, explain=True)
+            bounds = tree.root().mbr()
+            if kind == "mixed":
+                requests_list = mixed_requests(
+                    bounds, count=queries, seed=seed + 1
+                )
+            else:
+                windows = square_queries(
+                    bounds, area_percent, count=queries, seed=seed + 1
+                ).windows
+                if kind == "window":
+                    requests_list = [WindowRequest(w) for w in windows]
+                elif kind == "count":
+                    requests_list = [CountRequest(w) for w in windows]
+                elif kind == "containment":
+                    requests_list = [ContainmentRequest(w) for w in windows]
+                elif kind == "point":
+                    requests_list = [
+                        PointRequest(w.center()) for w in windows
+                    ]
+                elif kind == "knn":
+                    requests_list = [
+                        KNNRequest(w.center(), k) for w in windows
+                    ]
+                else:
+                    raise ValueError(f"unknown explain kind: {kind!r}")
+            batch_traces = None
+            if tracer is not None:
+                batch_traces = [
+                    tracer.begin(req.kind, req.kind)
+                    for req in requests_list
+                ]
+            report = server.submit(requests_list, traces=batch_traces)
+            if batch_traces is not None:
+                for pending_trace in batch_traces:
+                    tracer.finish(pending_trace)
+
+            table = Table(
+                title=(
+                    f"explain: {len(requests_list)} {kind} requests, "
+                    f"{cache_pages}-page cache"
+                ),
+                headers=[
+                    "query", "kind", "nodes", "entries", "pruned",
+                    "leaf_ios", "lower_bound", "efficiency",
+                    "physical_reads",
+                ],
+            )
+            worst = None
+            plans = 0
+            for i, result in enumerate(report.results):
+                plan = result.plan
+                if plan is None:
+                    continue
+                plans += 1
+                if isinstance(plan, tuple):
+                    continue
+                leaf_reads = getattr(plan, "leaf_reads", None)
+                table.add_row(
+                    i,
+                    result.request.kind,
+                    plan.nodes_visited,
+                    getattr(plan, "entries_examined", 0),
+                    getattr(plan, "entries_pruned", 0),
+                    leaf_reads if leaf_reads is not None else 0,
+                    getattr(plan, "leaf_lower_bound", 0),
+                    plan.pruning_efficiency,
+                    getattr(plan, "physical_reads", 0),
+                )
+                if (
+                    worst is None
+                    or plan.pruning_efficiency < worst.pruning_efficiency
+                ):
+                    worst = plan
+            table.add_note(
+                f"index: {index} (size={tree.size}, height={tree.height}, "
+                f"fanout={tree.fanout})"
+            )
+            if plans == 0:
+                table.add_note(
+                    "no per-query plans: sharded indexes traverse each "
+                    "shard's engine independently, so only aggregate "
+                    "stats exist (serve with repro_explain_* metrics "
+                    "instead)"
+                )
+            if worst is not None:
+                table.add_note(
+                    "worst plan (lowest pruning efficiency):\n"
+                    + worst.render()
+                )
+            if tracer is not None:
+                table.add_note(
+                    f"trace: {trace} ({tracer.emitted} of "
+                    f"{tracer.started} requests emitted)"
+                )
+            return table
+    finally:
+        if writer is not None:
+            writer.close()
         if tmpdir is not None:
             tmpdir.cleanup()
 

@@ -19,6 +19,9 @@ The diagnostic substrate of the serving stack (``docs/observability.md``):
 * :mod:`repro.obs.cachestats` — ghost-LRU
   :class:`ReuseDistanceTracker`: miss-ratio-vs-budget curves,
   leaf/internal access-frequency histograms, working-set estimates.
+* :mod:`repro.obs.health` — cache-neutral tree-quality analytics
+  (:class:`TreeQuality`) and the :func:`degradation_score` against the
+  pack-time baseline that arms the self-maintenance trigger.
 
 Everything is opt-in: with no tracer/tap/registry installed, the hooks
 cost one ``ContextVar.get`` (or one ``None`` check) per event.
@@ -29,6 +32,13 @@ from repro.obs.cachestats import (
     FrequencyBand,
     ReuseDistanceTracker,
     default_budgets,
+)
+from repro.obs.health import (
+    LevelQuality,
+    TreeQuality,
+    degradation_score,
+    index_quality,
+    tree_quality,
 )
 from repro.obs.metrics import (
     Counter,
@@ -62,6 +72,11 @@ __all__ = [
     "FrequencyBand",
     "ReuseDistanceTracker",
     "default_budgets",
+    "LevelQuality",
+    "TreeQuality",
+    "degradation_score",
+    "index_quality",
+    "tree_quality",
     "PhaseSelfTime",
     "SamplingProfiler",
     "current_phase",

@@ -41,6 +41,9 @@ class SlowQueryRecord:
     io: dict[str, int] | None = None
     #: Trace id when the request was traced (None otherwise).
     trace_id: int | None = None
+    #: Compact EXPLAIN summary (``QueryPlan.summary()``) when the
+    #: server ran the request with plan capture on; None otherwise.
+    explain: str | None = None
     #: Wall-clock seconds (``time.time``) at recording.
     at: float = field(default_factory=time.time)
 
@@ -70,6 +73,7 @@ class SlowQueryLog:
         detail: str = "",
         io: dict[str, int] | None = None,
         trace_id: int | None = None,
+        explain: str | None = None,
     ) -> bool:
         """Record the request if it crossed the threshold.
 
@@ -87,6 +91,7 @@ class SlowQueryLog:
             detail=detail[:200],
             io=io,
             trace_id=trace_id,
+            explain=explain,
         )
         with self._lock:
             self.total += 1
@@ -120,11 +125,12 @@ class SlowQueryLog:
                     f" io[r={r.io.get('reads', 0)} w={r.io.get('writes', 0)}"
                     f" miss={r.io.get('misses', 0)}]"
                 )
+            plan = f" plan[{r.explain}]" if r.explain else ""
             lines.append(
                 f"  {r.latency_s * 1000:8.2f} ms  {r.kind:<12} "
                 f"queue={r.queue_s * 1000:.2f}ms "
                 f"engine={r.engine_s * 1000:.2f}ms "
-                f"batch={r.batch_size}{io}{trace}  {r.detail}"
+                f"batch={r.batch_size}{io}{trace}{plan}  {r.detail}"
             )
         return "\n".join(lines) + "\n"
 

@@ -318,13 +318,20 @@ class SpatialJoinEngine:
         stats.node_pairs += 1
         frame_a = node_a.frame()
         frame_b = node_b.frame()
+        # EXPLAIN recorders (repro.queries.explain), one per side; a node
+        # joined against several partners accumulates matches per visit
+        # and the plan clamps to the node's entry count.
+        rec_a = self._left._recorder
+        rec_b = self._right._recorder
         if frame_a.is_leaf and frame_b.is_leaf:
             mask = kernels.frame_pair_mask(
                 frame_a.lo, frame_a.hi, frame_b.lo, frame_b.hi
             )
-            if out is None and mask is not None:
+            if out is None and mask is not None and rec_a is None:
                 # Count-only: the mask already holds every intersecting
-                # pair exactly once — no sweep needed.
+                # pair exactly once — no sweep needed.  (Under EXPLAIN
+                # the sweep runs so per-side matched rows are known; the
+                # pair count is identical.)
                 stats.pairs += int(mask.sum())
                 return
             left_objects = self._left.tree.objects
@@ -336,6 +343,29 @@ class SpatialJoinEngine:
                 self._sweep_state(self._orders_right, id_b, frame_b),
                 mask,
             )
+            if rec_a is not None:
+                seen_a: set[int] = set()
+                seen_b: set[int] = set()
+                for i, j in pairs:
+                    stats.pairs += 1
+                    seen_a.add(i)
+                    seen_b.add(j)
+                    if out is not None:
+                        out.append(
+                            (
+                                (
+                                    frame_a.rect(i),
+                                    left_objects.get(frame_a.ptrs[i]),
+                                ),
+                                (
+                                    frame_b.rect(j),
+                                    right_objects.get(frame_b.ptrs[j]),
+                                ),
+                            )
+                        )
+                rec_a.note_matched(id_a, len(seen_a))
+                rec_b.note_matched(id_b, len(seen_b))
+                return
             for i, j in pairs:
                 stats.pairs += 1
                 if out is not None:
@@ -360,6 +390,8 @@ class SpatialJoinEngine:
                 kernels.as_coords(mbr_a.lo),
                 kernels.as_coords(mbr_a.hi),
             )
+            if rec_b is not None:
+                rec_b.note_matched(id_b, len(rows))
             for row in rows:
                 child_id = frame_b.ptrs[row]
                 child = self._read_right(child_id, stats)
@@ -372,6 +404,8 @@ class SpatialJoinEngine:
                 kernels.as_coords(mbr_b.lo),
                 kernels.as_coords(mbr_b.hi),
             )
+            if rec_a is not None:
+                rec_a.note_matched(id_a, len(rows))
             for row in rows:
                 child_id = frame_a.ptrs[row]
                 child = self._read_left(child_id, stats)
@@ -391,6 +425,11 @@ class SpatialJoinEngine:
             )
             for i, j in pairs:
                 matches.setdefault(i, []).append(j)
+            if rec_a is not None:
+                rec_a.note_matched(id_a, len(matches))
+                rec_b.note_matched(
+                    id_b, len({j for js in matches.values() for j in js})
+                )
             for i in sorted(matches):
                 child_a_id = frame_a.ptrs[i]
                 child_a = self._read_left(child_a_id, stats)

@@ -118,6 +118,12 @@ class KNNEngine(TraversalEngine):
                 continue
             node = self._read(payload, self.totals)
             frame = node.frame()
+            if self._recorder is not None:
+                # Best-first search prunes at node granularity (entries
+                # of a read node all become live candidates); unread
+                # nodes are the pruning the plan's per-level node counts
+                # show.
+                self._recorder.note_matched(payload, len(frame))
             dists = frame_dists(frame)
             if frame.is_leaf:
                 for i, d in enumerate(dists):

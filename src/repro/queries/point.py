@@ -117,18 +117,25 @@ class PointQueryEngine(TraversalEngine):
         index list (or a ``Rect``) at all.
         """
         tree = self.tree
+        recorder = self._recorder
         stats = QueryStats(queries=1)
         matches: list[tuple[Rect, Any]] = []
         stack = [tree.root_id]
         while stack:
-            node = self._read(stack.pop(), stats)
+            block_id = stack.pop()
+            node = self._read(block_id, stats)
             frame = node.frame()
             if frame.is_leaf:
                 if report_rows is None:
-                    stats.reported += count_rows(frame)
+                    kept = count_rows(frame)
+                    stats.reported += kept
+                    if recorder is not None:
+                        recorder.note_matched(block_id, kept)
                     continue
                 rows = report_rows(frame)
                 stats.reported += len(rows)
+                if recorder is not None:
+                    recorder.note_matched(block_id, len(rows))
                 entries = node.cached_entries()
                 if entries is None:
                     for i in rows:
@@ -143,7 +150,10 @@ class PointQueryEngine(TraversalEngine):
                         matches.append((rect, tree.objects.get(pointer)))
             else:
                 ptrs = frame.ptrs
-                for i in descend_rows(frame):
+                rows = descend_rows(frame)
+                if recorder is not None:
+                    recorder.note_matched(block_id, len(rows))
+                for i in rows:
                     stack.append(ptrs[i])
         self.totals.merge(stats)
         return matches, stats

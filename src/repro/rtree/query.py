@@ -108,8 +108,13 @@ class TraversalEngine:
         self.cache_internal = cache_internal
         self._cache = LRUCache(tree.store, capacity=cache_capacity if cache_internal else 0)
         self.totals = QueryStats()
+        # Opt-in EXPLAIN plan capture (repro.queries.explain); None on
+        # the hot path costs one attribute load + branch per node.
+        self._recorder = None
 
     def _read(self, block_id: int, stats: QueryStats):
+        if self._recorder is not None:
+            return self._read_recorded(block_id, stats)
         # A warm internal node is answered from the engine's own pool
         # without touching the store at all — the store-level peek below
         # would otherwise cost a physical decode on paged stores whose
@@ -135,6 +140,38 @@ class TraversalEngine:
         stats.internal_reads += 1
         return self.tree.store.read(block_id)
 
+    def _read_recorded(self, block_id: int, stats: QueryStats):
+        """The :meth:`_read` branches with per-node plan attribution.
+
+        A separate method so the explain-off hot path stays one branch;
+        accounting is identical.  Physical reads are attributed from the
+        page store's miss counter around the access (0 for stores with
+        no physical layer, e.g. the in-memory simulator).
+        """
+        recorder = self._recorder
+        pstats = getattr(self.tree.store, "stats", None)
+        before_misses = pstats.misses if pstats is not None else 0
+        if self.cache_internal and block_id in self._cache:
+            stats.internal_visits += 1
+            node = self._cache.get(block_id)
+        else:
+            node = self.tree.store.peek(block_id)
+            if node.is_leaf:
+                stats.leaf_reads += 1
+                node = self.tree.store.read(block_id)
+            else:
+                stats.internal_visits += 1
+                if self.cache_internal:
+                    before = self._cache.misses
+                    node = self._cache.get(block_id)
+                    stats.internal_reads += self._cache.misses - before
+                else:
+                    stats.internal_reads += 1
+                    node = self.tree.store.read(block_id)
+        physical = (pstats.misses - before_misses) if pstats is not None else 0
+        recorder.on_node(block_id, node, physical)
+        return node
+
     def invalidate(self, block_id: int) -> None:
         """Drop a block from the internal pool after an update touched it."""
         self._cache.invalidate(block_id)
@@ -157,6 +194,7 @@ class QueryEngine(TraversalEngine):
         statistics; the engine's :attr:`totals` accumulate across calls.
         """
         tree = self.tree
+        recorder = self._recorder
         stats = QueryStats(queries=1)
         matches: list[tuple[Rect, Any]] = []
         q_lo = kernels.as_coords(window.lo)
@@ -167,6 +205,8 @@ class QueryEngine(TraversalEngine):
             node = self._read(block_id, stats)
             frame = node.frame()
             rows = kernels.frame_intersecting(frame.lo, frame.hi, q_lo, q_hi)
+            if recorder is not None:
+                recorder.note_matched(block_id, len(rows))
             if frame.is_leaf:
                 entries = node.cached_entries()
                 if entries is None:

@@ -8,9 +8,15 @@ rooted in that child".  Bulk loaders additionally target high fill: "most
 bulk-loading algorithms are capable of obtaining over 95% space
 utilization", and Section 3.3 reports above 99 % for all four variants.
 
-:func:`validate_rtree` walks a tree (without I/O accounting) and raises
-:class:`RTreeInvariantError` on the first violation; integration tests run
-it on every tree any builder produces.  :func:`utilization` measures fill.
+:func:`validate_rtree` walks a tree and raises
+:class:`RTreeInvariantError` on the first violation; integration tests
+run it on every tree any builder produces.  On success it returns a
+structured :class:`ValidationReport` — per-level node/entry counts and
+the containment-check tally — which ``repro health`` embeds next to the
+tree-quality analytics.  The walk reads strictly via the quiet peek
+path (``quiet_peek`` on paged stores), so validating an index never
+perturbs :class:`~repro.storage.paged.PageCacheStats` or the ghost-LRU
+tracker.  :func:`utilization` measures fill.
 """
 
 from __future__ import annotations
@@ -25,11 +31,52 @@ class RTreeInvariantError(AssertionError):
     """A structural R-tree invariant does not hold."""
 
 
+@dataclass(frozen=True)
+class LevelCounts:
+    """Node/entry tally of one tree level (0 = root)."""
+
+    level: int
+    nodes: int
+    entries: int
+    leaf: bool
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """What a successful :func:`validate_rtree` walk established.
+
+    ``mbr_checks`` counts the internal entries whose bounding box was
+    verified to be the *exact* union of the child's entries — on a
+    valid tree this equals the number of non-root nodes.
+    """
+
+    height: int
+    size: int
+    levels: tuple[LevelCounts, ...]
+    mbr_checks: int
+
+    @property
+    def nodes(self) -> int:
+        """Total nodes walked."""
+        return sum(l.nodes for l in self.levels)
+
+    @property
+    def entries(self) -> int:
+        """Total entries (directory and data) walked."""
+        return sum(l.entries for l in self.levels)
+
+
+def _quiet_reader(tree: RTree):
+    # Paged stores expose a strictly side-effect-free read; in-memory
+    # stores' peek is already silent.
+    return getattr(tree.store, "quiet_peek", None) or tree.peek_node
+
+
 def validate_rtree(
     tree: RTree,
     expect_size: int | None = None,
     min_node_fill: int | None = None,
-) -> None:
+) -> ValidationReport:
     """Check all structural invariants; raise on the first violation.
 
     Parameters
@@ -42,21 +89,36 @@ def validate_rtree(
         Minimum entries per non-root node to enforce.  Defaults to 1
         (structural sanity); pass ``tree.min_fill`` to check Guttman
         maintenance or a higher bound for packed trees.
+
+    Returns
+    -------
+    ValidationReport
+        Per-level counts of the successful walk (the health CLI's
+        structural summary); raises before returning on any violation.
     """
     fill_floor = 1 if min_node_fill is None else min_node_fill
+    read = _quiet_reader(tree)
     leaf_depths: set[int] = set()
     data_count = 0
+    mbr_checks = 0
     seen_blocks: set[int] = set()
+    level_nodes: dict[int, int] = {}
+    level_entries: dict[int, int] = {}
+    level_leaf: dict[int, bool] = {}
 
-    def walk(block_id: int, depth: int) -> None:
-        nonlocal data_count
+    def walk(block_id: int, depth: int, node=None) -> None:
+        nonlocal data_count, mbr_checks
         if block_id in seen_blocks:
             raise RTreeInvariantError(
                 f"block {block_id} reachable twice (tree is not a tree)"
             )
         seen_blocks.add(block_id)
-        node = tree.peek_node(block_id)
+        if node is None:
+            node = read(block_id)
         is_root = block_id == tree.root_id
+        level_nodes[depth] = level_nodes.get(depth, 0) + 1
+        level_entries[depth] = level_entries.get(depth, 0) + len(node.entries)
+        level_leaf[depth] = node.is_leaf
         if len(node.entries) > tree.fanout:
             raise RTreeInvariantError(
                 f"node {block_id} has {len(node.entries)} entries, "
@@ -89,7 +151,7 @@ def validate_rtree(
                     raise RTreeInvariantError(
                         f"node {block_id} points at freed block {child_id}"
                     )
-                child = tree.peek_node(child_id)
+                child = read(child_id)
                 if not child.entries:
                     raise RTreeInvariantError(
                         f"child {child_id} of node {block_id} is empty"
@@ -100,7 +162,8 @@ def validate_rtree(
                         f"entry box for child {child_id} is {rect}, exact "
                         f"union of the child's entries is {exact}"
                     )
-                walk(child_id, depth + 1)
+                mbr_checks += 1
+                walk(child_id, depth + 1, child)
 
     walk(tree.root_id, 0)
 
@@ -121,6 +184,20 @@ def validate_rtree(
         raise RTreeInvariantError(
             f"expected {expect_size} data entries, found {data_count}"
         )
+    return ValidationReport(
+        height=tree.height,
+        size=data_count,
+        levels=tuple(
+            LevelCounts(
+                level=depth,
+                nodes=level_nodes[depth],
+                entries=level_entries[depth],
+                leaf=level_leaf[depth],
+            )
+            for depth in sorted(level_nodes)
+        ),
+        mbr_checks=mbr_checks,
+    )
 
 
 @dataclass(frozen=True)

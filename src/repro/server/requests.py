@@ -205,6 +205,12 @@ class RequestResult:
     deduped:
         True when this occurrence was answered from an earlier
         identical request in the same batch.
+    plan:
+        The captured :class:`~repro.queries.explain.QueryPlan` (or
+        :class:`~repro.queries.explain.JoinPlan`) when the server ran
+        with ``explain=True`` and the engine supports plan capture;
+        None otherwise (writes, sharded facades, explain off).
+        Duplicates share the first occurrence's plan.
     """
 
     request: Request
@@ -212,3 +218,4 @@ class RequestResult:
     stats: Any
     latency_s: float = 0.0
     deduped: bool = False
+    plan: Any = None

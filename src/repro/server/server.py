@@ -61,6 +61,7 @@ from repro.geometry.hilbert import hilbert_key_for_center
 from repro.obs.profiler import phase as profile_phase
 from repro.obs.tap import scoped_tap
 from repro.obs.trace import Trace, activate_trace
+from repro.queries import explain as explain_mod
 from repro.geometry.rect import Rect, point_rect
 from repro.queries.join import SpatialJoinEngine
 from repro.queries.knn import KNNEngine
@@ -247,6 +248,15 @@ class QueryServer:
         Applies to untraced plain-tree window requests; traced requests,
         sharded indexes, and the other operators keep per-request
         execution.  Default off — the paper's per-query accounting.
+    explain:
+        Capture an EXPLAIN plan (:mod:`repro.queries.explain`) for every
+        executed read and attach it as
+        :attr:`~repro.server.requests.RequestResult.plan`: per-level
+        nodes visited / entries pruned, physical reads, and the pruning
+        efficiency against the leaf-I/O lower bound.  Disables window
+        batching (a shared traversal has no per-query plan); sharded
+        facades execute normally but produce no plan.  Default off —
+        the disabled path costs one branch per node.
     """
 
     def __init__(
@@ -257,6 +267,7 @@ class QueryServer:
         workers: int = 1,
         sync_writes: bool = True,
         batch_windows: bool = False,
+        explain: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -268,6 +279,7 @@ class QueryServer:
         self.workers = workers
         self.sync_writes = sync_writes
         self.batch_windows = batch_windows
+        self.explain = explain
         self.batches_served = 0
         self._engines: dict[tuple, Any] = {}
         self._bounds: dict[str, Rect | None] = {}
@@ -453,13 +465,19 @@ class QueryServer:
         self, request: Request, trace: Trace | None = None
     ) -> RequestResult:
         engine = self._engine(_group_key(request))
+        # Plan capture is armed per executed request: within one batch a
+        # group's requests run serially on the group's own engine, so
+        # the recorder never observes another request's traversal.
+        recorder = explain_mod.install(engine) if self.explain else None
         if trace is None:
             with profile_phase(f"engine:{request.kind}"):
                 start = time.perf_counter()
                 value, stats = self._dispatch(engine, request)
                 latency = time.perf_counter() - start
+            plan = explain_mod.uninstall(engine, recorder, request.kind, stats)
             return RequestResult(
-                request=request, value=value, stats=stats, latency_s=latency
+                request=request, value=value, stats=stats, latency_s=latency,
+                plan=plan,
             )
         # Traced: activate the trace in this (possibly executor) thread
         # and attribute the engine's I/O to both the trace's ledger and
@@ -469,6 +487,7 @@ class QueryServer:
             start = time.perf_counter()
             value, stats = self._dispatch(engine, request)
             end = time.perf_counter()
+        plan = explain_mod.uninstall(engine, recorder, request.kind, stats)
         trace.add_span(
             f"engine:{request.kind}",
             start,
@@ -479,7 +498,8 @@ class QueryServer:
             io=tap.snapshot(),
         )
         return RequestResult(
-            request=request, value=value, stats=stats, latency_s=end - start
+            request=request, value=value, stats=stats, latency_s=end - start,
+            plan=plan,
         )
 
     def _execute_window_batch(self, engine: QueryEngine, entries: list) -> list:
@@ -512,7 +532,7 @@ class QueryServer:
 
     def _batchable_windows(self, entries: list) -> bool:
         """True when a locality-ordered group can run set-at-a-time."""
-        if not self.batch_windows or len(entries) < 2:
+        if not self.batch_windows or self.explain or len(entries) < 2:
             return False
         if not all(
             isinstance(request, WindowRequest) and trace is None

@@ -62,6 +62,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro.obs import health
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import Trace, Tracer
@@ -249,7 +250,23 @@ class AsyncQueryService:
     slow_log:
         Optional :class:`~repro.obs.slowlog.SlowQueryLog`; every
         completed request at or over its threshold is recorded with its
-        queue/engine split and attributed I/O.
+        queue/engine split and attributed I/O (plus the compact EXPLAIN
+        summary when ``explain`` is on).
+    explain:
+        Passed through to every pool server: each executed read
+        captures a :mod:`repro.queries.explain` plan, attached to slow
+        log entries in summary form and aggregated into the
+        ``repro_explain_*`` metric families.  Off (default) keeps the
+        traversal hot path at one branch per node.
+    health_interval:
+        Seconds between **index-health snapshots**: every cadence tick
+        of the metrics loop past this interval walks each index
+        cache-neutrally (:func:`repro.obs.health.index_quality`),
+        compares against its pack-time baseline and exports the
+        ``repro_health_*`` families, including the normalized
+        degradation score that arms the self-maintenance trigger.
+        ``None`` (default) disables the walk — it reads the whole tree,
+        so pick a cadence that amortizes it.
 
     Use as an async context manager, or call :meth:`start` /
     :meth:`aclose` explicitly.  :meth:`submit` starts the dispatcher
@@ -276,6 +293,8 @@ class AsyncQueryService:
         metrics: MetricsRegistry | None = None,
         metrics_interval: float = 1.0,
         slow_log: SlowQueryLog | None = None,
+        explain: bool = False,
+        health_interval: float | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -292,6 +311,8 @@ class AsyncQueryService:
             raise ValueError("executor_workers must be >= 1")
         if metrics_interval <= 0:
             raise ValueError("metrics_interval must be > 0")
+        if health_interval is not None and health_interval <= 0:
+            raise ValueError("health_interval must be > 0")
         if sync_every_n is not None and sync_every_n < 1:
             raise ValueError("sync_every_n must be >= 1")
         if sync_interval_s is not None and sync_interval_s <= 0:
@@ -316,6 +337,8 @@ class AsyncQueryService:
         self.metrics = metrics
         self.metrics_interval = metrics_interval
         self.slow_log = slow_log
+        self.explain = explain
+        self.health_interval = health_interval
 
         self._writer = QueryServer(
             indexes,
@@ -324,6 +347,7 @@ class AsyncQueryService:
             workers=server_workers,
             sync_writes=sync_writes,
             batch_windows=batch_windows,
+            explain=explain,
         )
         # Read pool members share the writer's (normalized) catalog and
         # tree handles; each in-flight read batch owns one member, so
@@ -336,6 +360,7 @@ class AsyncQueryService:
                 workers=server_workers,
                 sync_writes=sync_writes,
                 batch_windows=batch_windows,
+                explain=explain,
             )
             for _ in range(executor_workers)
         ]
@@ -359,6 +384,13 @@ class AsyncQueryService:
         #: one registry and the counters accumulate across all of them
         #: instead of regressing when a fresh service starts from zero.
         self._exported_totals: dict[tuple[str, ...], float] = {}
+        #: EXPLAIN aggregates per request kind (resolved in the event
+        #: loop after each batch, so plain mutation is safe):
+        #: kind → [plans, nodes visited, summed pruning efficiency].
+        self._explain_totals: dict[str, list[float]] = {}
+        #: Wall clock of the last index-health walk (0.0 = never; the
+        #: first metrics snapshot after start walks immediately).
+        self._last_health = 0.0
         #: Group-commit state: write batches applied but not yet made
         #: durable, the indexes they touched, the in-flight commit (at
         #: most one — the dispatcher awaits it before the next write
@@ -755,6 +787,14 @@ class AsyncQueryService:
         self.stats.observe_cache(report.io)
         for pending, result in zip(batch, report.results):
             latency = done - pending.enqueued_at
+            plan = result.plan
+            if plan is not None and not result.deduped:
+                acc = self._explain_totals.setdefault(
+                    pending.request.kind, [0, 0, 0.0]
+                )
+                acc[0] += 1
+                acc[1] += plan.nodes_visited
+                acc[2] += plan.pruning_efficiency
             if pending.trace is not None:
                 trace = pending.trace
                 # These three spans partition enqueue → response
@@ -800,6 +840,7 @@ class AsyncQueryService:
                         if pending.trace is not None
                         else None
                     ),
+                    explain=plan.summary() if plan is not None else None,
                 )
             if pending.future.done():
                 # The client gave up (e.g. wait_for cancelled the
@@ -960,6 +1001,113 @@ class AsyncQueryService:
                     shard_reads.labels(name, str(i)).set_total(load.reads)
         self._snapshot_recovery_metrics(registry)
         self._snapshot_cache_metrics(registry)
+        self._snapshot_explain_metrics(registry)
+        self._snapshot_health_metrics(registry)
+
+    def _snapshot_explain_metrics(self, registry: MetricsRegistry) -> None:
+        """Export the ``repro_explain_*`` families per request kind.
+
+        Populated only while the service runs with ``explain=True`` —
+        the aggregates come from the captured plans themselves, so a
+        plain service exports nothing here.
+        """
+        if not self._explain_totals:
+            return
+        plans = registry.counter(
+            "repro_explain_plans_total",
+            "Requests executed with an EXPLAIN plan captured",
+            ("kind",),
+        )
+        nodes = registry.counter(
+            "repro_explain_nodes_visited_total",
+            "Tree nodes visited by explained requests",
+            ("kind",),
+        )
+        efficiency = registry.gauge(
+            "repro_explain_pruning_efficiency",
+            "Mean pruning efficiency (leaf-I/O lower bound / leaf reads) "
+            "of explained requests",
+            ("kind",),
+        )
+        for kind, (count, visited, eff_sum) in list(
+            self._explain_totals.items()
+        ):
+            previous = self._exported_totals.get(("explain_plans", kind), 0.0)
+            if count > previous:
+                plans.labels(kind).inc(count - previous)
+                self._exported_totals[("explain_plans", kind)] = count
+            previous = self._exported_totals.get(("explain_nodes", kind), 0.0)
+            if visited > previous:
+                nodes.labels(kind).inc(visited - previous)
+                self._exported_totals[("explain_nodes", kind)] = visited
+            if count:
+                efficiency.labels(kind).set(eff_sum / count)
+
+    def _snapshot_health_metrics(self, registry: MetricsRegistry) -> None:
+        """Export the ``repro_health_*`` families on the health cadence.
+
+        Each walk is cache-neutral (``quiet_peek`` reads) but touches
+        every node of every index, so it runs at most once per
+        :attr:`health_interval` — snapshots in between re-export the
+        previous gauges untouched.  The headline is
+        ``repro_health_score``: the normalized degradation score of each
+        index against its pack-time baseline (absent for indexes packed
+        without one, e.g. pre-baseline files).
+        """
+        if self.health_interval is None:
+            return
+        now = time.perf_counter()
+        if self._last_health and now - self._last_health < self.health_interval:
+            return
+        self._last_health = now
+        score_gauge = registry.gauge(
+            "repro_health_score",
+            "Normalized degradation vs the pack-time baseline "
+            "(0 = as packed)",
+            ("index",),
+        )
+        gauges = {
+            "leaf_occupancy": registry.gauge(
+                "repro_health_leaf_occupancy",
+                "Leaf fill factor (entries / capacity)",
+                ("index",),
+            ),
+            "overlap_ratio": registry.gauge(
+                "repro_health_overlap_ratio",
+                "Directory MBR overlap area over directory area",
+                ("index",),
+            ),
+            "dead_ratio": registry.gauge(
+                "repro_health_dead_ratio",
+                "Directory dead space over directory area",
+                ("index",),
+            ),
+            "fragmentation": registry.gauge(
+                "repro_health_fragmentation",
+                "Store blocks free or pending reclaim over allocated",
+                ("index",),
+            ),
+            "height": registry.gauge(
+                "repro_health_height", "Tree height (root = level 0)",
+                ("index",),
+            ),
+            "nodes": registry.gauge(
+                "repro_health_nodes", "Total tree nodes", ("index",),
+            ),
+        }
+        for name, tree in self._writer.indexes.items():
+            quality, _ = health.index_quality(tree)
+            gauges["leaf_occupancy"].labels(name).set(quality.leaf_occupancy)
+            gauges["overlap_ratio"].labels(name).set(quality.overlap_ratio)
+            gauges["dead_ratio"].labels(name).set(quality.dead_ratio)
+            gauges["fragmentation"].labels(name).set(quality.fragmentation)
+            gauges["height"].labels(name).set(quality.height)
+            gauges["nodes"].labels(name).set(quality.nodes)
+            score = health.degradation_score(
+                quality, getattr(tree, "health_baseline", None)
+            )
+            if score is not None:
+                score_gauge.labels(name).set(score)
 
     def _snapshot_recovery_metrics(self, registry: MetricsRegistry) -> None:
         """Export the ``repro_recovery_*`` families per index file.

@@ -387,6 +387,25 @@ class PagedNodeStore:
         with self._lock:
             return self._peek_locked(block_id, active_tap())
 
+    def quiet_peek(self, block_id: BlockId) -> Node:
+        """Read a node with **zero** observable side effects.
+
+        Unlike :meth:`peek`, this touches neither :class:`PageCacheStats`
+        nor the ghost-LRU tracker, never pins the MRU slot and never
+        inserts into the page table — the observation path the health
+        walk and :func:`~repro.rtree.validate.validate_rtree` use, so
+        observing an index cannot perturb what is being observed.
+        Cached pages (dirty ones included) are still served so the walk
+        sees the in-memory truth.
+        """
+        with self._lock:
+            node = self._pages.get(block_id)
+            if node is not None:
+                return node
+            if self._mru is not None and self._mru[0] == block_id:
+                return self._mru[1]
+            return self._decode_locked(block_id)
+
     def write(self, block_id: BlockId, node: Node) -> None:
         """Write a node back: one logical I/O, deferred physical write.
 
@@ -522,6 +541,7 @@ def pack_tree(
     tree: RTree,
     path: str | os.PathLike | None,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    baseline: bool = True,
 ) -> PackStats:
     """Write a tree to an index file in dense preorder.
 
@@ -530,6 +550,11 @@ def pack_tree(
     history of the store the tree was built on, and packing is one
     sequential sweep of writes — the access pattern the paper's bulk
     loaders end with.
+
+    ``baseline=True`` (the default) records the pack-time tree-quality
+    baseline (:mod:`repro.obs.health`) in the descriptor's trailing
+    bytes, the reference :func:`~repro.obs.health.degradation_score`
+    judges later updates against.
 
     Raises :class:`~repro.rtree.persist.PersistError` when the tree's
     fan-out physically cannot fit the requested block size.
@@ -546,6 +571,16 @@ def pack_tree(
     ]
     index_of = {bid: i for i, (bid, _) in enumerate(order)}
 
+    baseline_blob = b""
+    if baseline:
+        # The packed file holds the same geometry as the source tree, so
+        # the baseline can be computed from the in-memory nodes before a
+        # single block is written.  Lazy import: obs.health must stay
+        # importable without the storage layer (no cycle).
+        from repro.obs.health import encode_baseline, quality_baseline, tree_quality
+
+        baseline_blob = encode_baseline(quality_baseline(tree_quality(tree)))
+
     meta = struct.pack(
         _TREE_META,
         _TREE_MAGIC,
@@ -555,7 +590,7 @@ def pack_tree(
         tree.size,
         index_of[tree.root_id],
         max(tree._next_oid, tree.size),
-    )
+    ) + baseline_blob
     with FileBlockStore.create(path, block_size, meta=meta) as file_store:
         for _, node in order:
             if node.is_leaf:
@@ -621,6 +656,10 @@ class PagedTree(RTree):
         # entry still points at: honour the descriptor's high-water id
         # (size alone is not a safe floor once deletes have shrunk it).
         self._next_oid = max(self._next_oid, next_oid, size)
+        # Pack-time tree-quality baseline (repro.obs.health), carried in
+        # the descriptor's trailing bytes; sync() must re-append it or a
+        # single update would erase the degradation reference.
+        self._baseline_blob: bytes = b""
 
     @classmethod
     def open(
@@ -722,7 +761,7 @@ class PagedTree(RTree):
         store = PagedNodeStore(
             file_store, dim=dim, capacity=cache_pages, tracker=tracker
         )
-        return cls(
+        tree = cls(
             store,
             root_id,
             dim=dim,
@@ -732,6 +771,8 @@ class PagedTree(RTree):
             values=values,
             next_oid=next_oid,
         )
+        tree._baseline_blob = bytes(meta[_TREE_META_BYTES:])
+        return tree
 
     # ------------------------------------------------------------------
 
@@ -749,6 +790,19 @@ class PagedTree(RTree):
     def readonly(self) -> bool:
         """True when the index file was opened without write access."""
         return self.page_store.readonly
+
+    @property
+    def health_baseline(self) -> dict | None:
+        """The pack-time tree-quality baseline, or None if not recorded.
+
+        Written by :func:`pack_tree` into the descriptor's trailing
+        bytes and preserved across :meth:`sync`;
+        :func:`~repro.obs.health.degradation_score` compares the live
+        tree against it.
+        """
+        from repro.obs.health import decode_baseline
+
+        return decode_baseline(self._baseline_blob)
 
     @property
     def recovery(self) -> RecoveryInfo:
@@ -817,7 +871,7 @@ class PagedTree(RTree):
             self.size,
             self.root_id,
             self._next_oid,
-        )
+        ) + self._baseline_blob
         file_store = self.page_store.file_store
         file_store.set_metadata(meta, persist=False)
         file_store.flush()  # one header-region write covers it

@@ -62,6 +62,7 @@ from repro.geometry.hilbert import DEFAULT_ORDER, hilbert_key_for_center
 from repro.geometry.rect import Rect, mbr_of
 from repro.iomodel.blockstore import BlockStore, DEFAULT_BLOCK_SIZE
 from repro.iomodel.counters import IOSnapshot
+from repro.obs import health
 from repro.obs.profiler import phase as profile_phase
 from repro.obs.tap import active_tap, scoped_tap
 from repro.obs.trace import current_trace
@@ -259,6 +260,7 @@ def shard_pack(
 
     infos: list[ShardInfo] = []
     per_shard: list[PackStats] = []
+    shard_qualities = []
     base, extra = divmod(len(entries), k)
     start = 0
     for i in range(k):
@@ -271,6 +273,9 @@ def shard_pack(
             tree,
             next_oid,
         )
+        # Each shard file also carries its own single-tree baseline (via
+        # pack_tree); the manifest records the family-level aggregate.
+        shard_qualities.append(health.tree_quality(shard_tree))
         stats = pack_tree(
             shard_tree, manifest_path.with_name(file_name), block_size
         )
@@ -298,6 +303,9 @@ def shard_pack(
         next_oid=next_oid,
         bounds=bounds,
         infos=infos,
+        health_baseline=health.quality_baseline(
+            health.family_quality(shard_qualities)
+        ),
     )
     return ShardPackStats(
         manifest=str(manifest_path),
@@ -354,6 +362,7 @@ def _write_manifest(
     infos: Sequence[ShardInfo],
     generation: int = 0,
     injector: "FaultInjector | None" = None,
+    health_baseline: dict | None = None,
 ) -> None:
     doc = {
         "format": MANIFEST_FORMAT,
@@ -381,6 +390,11 @@ def _write_manifest(
             for info in infos
         ],
     }
+    if health_baseline is not None:
+        # The family's pack-time tree-quality baseline (repro.obs.health):
+        # the reference the degradation score judges later updates
+        # against.  Optional — pre-PR-10 manifests simply lack it.
+        doc["health_baseline"] = health_baseline
     _atomic_write_text(
         path, json.dumps(doc, indent=2) + "\n", injector=injector
     )
@@ -537,6 +551,7 @@ class ShardedTree:
         readonly: bool,
         generation: int = 0,
         injector: FaultInjector | None = None,
+        health_baseline: dict | None = None,
     ) -> None:
         self.path = path
         self.shards = shards
@@ -548,6 +563,9 @@ class ShardedTree:
         self.size = size
         self.bounds = bounds
         self.generation = generation
+        #: The family's pack-time tree-quality baseline (or None on a
+        #: pre-baseline manifest); preserved verbatim across syncs.
+        self.health_baseline = health.decode_baseline(health_baseline)
         self._injector = injector
         self._next_oid = max(next_oid, size)
         self._readonly = readonly
@@ -678,6 +696,7 @@ class ShardedTree:
             readonly=readonly,
             generation=doc.get("generation", 0),
             injector=injector,
+            health_baseline=doc.get("health_baseline"),
         )
 
     @staticmethod
@@ -926,6 +945,7 @@ class ShardedTree:
             infos=self.infos,
             generation=self.generation,
             injector=self._injector,
+            health_baseline=self.health_baseline,
         )
         return flushed
 

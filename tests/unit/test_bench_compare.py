@@ -51,6 +51,8 @@ class TestClassify:
         assert classify("vs_off").direction == +1
         assert classify("n").direction == 0
         assert classify("rate_rps").direction == 0  # input parameter
+        assert classify("score").direction == -1  # degradation score
+        assert classify("io_vs_fresh").direction == -1
 
     def test_timing_vs_deterministic(self):
         classify = bench_compare.classify
@@ -58,6 +60,8 @@ class TestClassify:
         assert classify("p50_ms").timing
         assert not classify("leaf_ios").timing
         assert not classify("hits").timing
+        assert not classify("score").timing
+        assert not classify("io_vs_fresh").timing
 
     def test_unknown_is_reported_not_gated(self):
         column = bench_compare.classify("flux_capacitance")

@@ -239,3 +239,87 @@ class TestServeAsync:
         ]) == 0
         capsys.readouterr()
         assert {f.name: f.read_bytes() for f in sorted(tmp_path.iterdir())} == before
+
+
+class TestHealthAndExplain:
+    @pytest.fixture
+    def index(self, tmp_path, capsys):
+        path = tmp_path / "idx.pack"
+        assert main([
+            "pack", str(path), "--dataset", "uniform", "--n", "800",
+            "--fanout", "16",
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_health_reports_score(self, index, capsys):
+        assert main(["health", "--index", str(index)]) == 0
+        out = capsys.readouterr().out
+        assert "index health" in out
+        assert "degradation score" in out
+        assert "occupancy" in out
+
+    def test_health_score_only(self, index, capsys):
+        assert main([
+            "health", "--index", str(index), "--score-only",
+        ]) == 0
+        score = float(capsys.readouterr().out.strip())
+        assert 0.0 <= score < 1e-6
+
+    def test_health_requires_index(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["health"])
+
+    def test_explain_renders_plans(self, index, capsys):
+        assert main([
+            "explain", "--index", str(index), "--kind", "window",
+            "--queries", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "explain: 4 window requests" in out
+        assert "efficiency" in out
+        assert "worst plan" in out and "L0 root" in out
+
+    def test_explain_trace_self_check(self, index, tmp_path, capsys):
+        trace = tmp_path / "explain.jsonl"
+        assert main([
+            "explain", "--index", str(index), "--queries", "3",
+            "--trace", str(trace),
+        ]) == 0
+        assert trace.exists()
+        assert f"wrote {trace}" in capsys.readouterr().out
+
+    def test_explain_sharded_has_no_plans(self, tmp_path, capsys):
+        manifest = tmp_path / "fam.manifest"
+        assert main([
+            "pack", str(manifest), "--shards", "2", "--dataset",
+            "uniform", "--n", "800", "--fanout", "16",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "explain", "--index", str(manifest), "--queries", "3",
+        ]) == 0
+        assert "no per-query plans" in capsys.readouterr().out
+
+    def test_serve_bench_explain_notes(self, index, capsys):
+        assert main([
+            "serve-bench", "--index", str(index), "--requests", "60",
+            "--batch-size", "30", "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "explain window:" in out
+        assert "mean pruning efficiency" in out
+
+    def test_serve_async_health_metrics(self, index, tmp_path, capsys):
+        prom = tmp_path / "health.prom"
+        assert main([
+            "serve-async", "--index", str(index), "--rates", "800",
+            "--requests", "40", "--executor-workers", "2",
+            "--explain", "--health-interval", "30",
+            "--metrics", str(prom),
+        ]) == 0
+        capsys.readouterr()
+        text = prom.read_text()
+        assert "repro_health_score" in text
+        assert "repro_health_leaf_occupancy" in text
+        assert "repro_explain_plans_total" in text

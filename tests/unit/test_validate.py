@@ -107,6 +107,82 @@ class TestValidate:
             validate_rtree(tree)
 
 
+class TestValidationReport:
+    def test_report_counts(self, store):
+        tree = packed_tree(store, n=200, fanout=8)
+        report = validate_rtree(tree, expect_size=200)
+        assert report.height == tree.height
+        assert report.size == 200
+        assert report.levels[0].level == 0 and report.levels[0].nodes == 1
+        assert report.levels[-1].leaf
+        assert sum(l.entries for l in report.levels if l.leaf) == 200
+        assert report.nodes == tree.node_count()
+        # Every non-root node's MBR was checked against its parent entry.
+        assert report.mbr_checks == report.nodes - 1
+
+    def test_single_leaf_report(self, store):
+        tree = packed_tree(store, n=5, fanout=8)
+        report = validate_rtree(tree)
+        assert report.levels == (
+            type(report.levels[0])(level=0, nodes=1, entries=5, leaf=True),
+        )
+        assert report.mbr_checks == 0
+
+
+class TestValidationIsQuiet:
+    """Validating or quality-walking an index must not perturb the
+    physical cache statistics or the ghost-LRU tracker — the regression
+    the ``quiet_peek`` path exists for."""
+
+    @pytest.fixture
+    def analytics_tree(self, tmp_path):
+        from repro.prtree.prtree import build_prtree
+        from repro.storage import open_index, pack_tree
+
+        data = random_rects(600, seed=13)
+        tree = build_prtree(BlockStore(), data, 16)
+        path = tmp_path / "quiet.pack"
+        pack_tree(tree, path, block_size=1024)
+        with open_index(
+            path,
+            values=dict(tree.objects),
+            cache_pages=8,
+            readonly=True,
+            cache_analytics=True,
+        ) as paged:
+            yield paged
+
+    @staticmethod
+    def observability_state(tree):
+        stats = tree.page_stats
+        tracker = tree.page_store.tracker
+        return (
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            tracker.unique_blocks,
+            tracker.cold_misses,
+        )
+
+    def test_validate_leaves_stats_untouched(self, analytics_tree):
+        from repro.rtree.query import QueryEngine
+
+        # Warm the cache so both hit and miss paths have history.
+        QueryEngine(analytics_tree).query(Rect((0.2, 0.2), (0.7, 0.7)))
+        before = self.observability_state(analytics_tree)
+        validate_rtree(analytics_tree)
+        assert self.observability_state(analytics_tree) == before
+
+    def test_tree_quality_leaves_stats_untouched(self, analytics_tree):
+        from repro.obs.health import tree_quality
+        from repro.rtree.query import QueryEngine
+
+        QueryEngine(analytics_tree).query(Rect((0.2, 0.2), (0.7, 0.7)))
+        before = self.observability_state(analytics_tree)
+        tree_quality(analytics_tree)
+        assert self.observability_state(analytics_tree) == before
+
+
 class TestUtilization:
     def test_packed_tree_is_nearly_full(self, store):
         tree = pack_ordered(store, random_rects(1000, seed=3), 10)

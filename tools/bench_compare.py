@@ -53,7 +53,7 @@ _LOWER_COUNTS = {
     "leaf_ios", "internal_reads", "physical_reads", "reads", "write_ios",
     "pages_flushed", "flushes", "misses", "evictions", "rejected",
     "max_queue", "cold_misses", "predicted_misses", "ios", "io",
-    "file_mb", "dedup_missed",
+    "file_mb", "dedup_missed", "score",
 }
 
 #: Deterministic higher-is-better counters/ratios.
@@ -84,6 +84,11 @@ def classify(header: str) -> ColumnClass:
     if h in _HIGHER_COUNTS or "hit_ratio" in h:
         return ColumnClass(+1, False)
     if h == "ios_per_query" or h.endswith("_per_query"):
+        return ColumnClass(-1, False)
+    if h.endswith("_vs_fresh"):
+        # Deterministic I/O ratios against a fresh bulk-load (e.g.
+        # index_health_drift's io_vs_fresh): 1.0 is parity, bigger is
+        # more degradation.
         return ColumnClass(-1, False)
     if h == "req_per_s" or h.endswith("_rps") or "throughput" in h:
         return ColumnClass(+1, True)
